@@ -1,0 +1,91 @@
+// E6 — §5.3: crashes do not slow Balls-into-Leaves down.
+//
+// Runs the full message-passing engine at n=256 under every implemented
+// crash strategy (including the protocol-aware adaptive ones that read the
+// round's coin flips off the wire before scheduling crashes) and compares
+// round counts against the failure-free baseline. The paper's argument: a
+// crash only ever *increases* the slack available to the surviving balls,
+// so the adversary gains at most the stale-entry purge phases.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace bil;
+
+void adversary_table(core::TerminationMode termination) {
+  constexpr std::uint32_t kSeeds = 10;
+  const std::uint32_t n = 256;
+  struct Row {
+    const char* name;
+    harness::AdversarySpec spec;
+  };
+  const std::vector<Row> rows = {
+      {"none", {.kind = harness::AdversaryKind::kNone}},
+      {"oblivious f=n/4",
+       {.kind = harness::AdversaryKind::kOblivious, .crashes = n / 4,
+        .horizon = 10}},
+      {"oblivious f=n/2",
+       {.kind = harness::AdversaryKind::kOblivious, .crashes = n / 2,
+        .horizon = 10}},
+      {"burst@init (alternating)",
+       {.kind = harness::AdversaryKind::kBurst, .crashes = n / 2, .when = 0,
+        .subset = sim::SubsetPolicy::kAlternating}},
+      {"burst@path-round",
+       {.kind = harness::AdversaryKind::kBurst, .crashes = n / 2, .when = 1,
+        .subset = sim::SubsetPolicy::kRandomHalf}},
+      {"burst@position-round",
+       {.kind = harness::AdversaryKind::kBurst, .crashes = n / 2, .when = 2,
+        .subset = sim::SubsetPolicy::kRandomHalf}},
+      {"sandwich (1/round)",
+       {.kind = harness::AdversaryKind::kSandwich, .crashes = n - 1,
+        .per_round = 1}},
+      {"eager (4/round)",
+       {.kind = harness::AdversaryKind::kEager, .crashes = n - 1, .when = 1,
+        .per_round = 4}},
+      {"targeted-winner (2/round)",
+       {.kind = harness::AdversaryKind::kTargetedWinner, .crashes = n / 2,
+        .per_round = 2, .subset = sim::SubsetPolicy::kAlternating}},
+      {"targeted-announcer (2/round)",
+       {.kind = harness::AdversaryKind::kTargetedAnnouncer, .crashes = n / 2,
+        .per_round = 2, .subset = sim::SubsetPolicy::kAlternating}},
+  };
+  stats::Table table(
+      {"adversary", "mean rounds", "p99", "max", "mean crashes"});
+  for (const Row& row : rows) {
+    harness::RunConfig config;
+    config.n = n;
+    config.termination = termination;
+    config.adversary = row.spec;
+    std::vector<double> rounds;
+    double crashes = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      config.seed = seed;
+      const auto summary = harness::run_renaming(config);
+      rounds.push_back(static_cast<double>(summary.rounds));
+      crashes += summary.crashes;
+    }
+    const stats::Summary summary = stats::summarize(rounds);
+    table.add_row({row.name, stats::fmt_fixed(summary.mean, 1),
+                   stats::fmt_fixed(summary.p99, 1),
+                   stats::fmt_fixed(summary.max, 0),
+                   stats::fmt_fixed(crashes / kSeeds, 1)});
+  }
+  std::cout << "\nBalls-into-Leaves, n=" << n << ", termination mode: "
+            << to_string(termination) << " (" << kSeeds << " seeds)\n\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E6  bench_adversaries   [§5.3: crashes do not slow BiL down]",
+      "Round counts under every implemented crash strategy, vs failure-free.");
+  adversary_table(core::TerminationMode::kGlobal);
+  adversary_table(core::TerminationMode::kEagerLeaf);
+  return 0;
+}

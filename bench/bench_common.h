@@ -1,0 +1,65 @@
+// Shared helpers for the experiment binaries.
+//
+// Every bench regenerates one table/figure of the paper's claims (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// output). Benches print a header naming the claim, the measured table, and
+// — where the claim is a complexity shape — the competing model fits.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "stats/fit.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/math.h"
+
+namespace bil::bench {
+
+inline void print_banner(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << experiment << '\n'
+            << claim << '\n'
+            << "================================================================\n";
+}
+
+/// Mean rounds over `seeds` runs of one configuration (each run is
+/// internally validated for the renaming properties).
+inline stats::Summary rounds_summary(harness::RunConfig config,
+                                     std::uint32_t seeds,
+                                     std::uint64_t seed_base = 1) {
+  std::vector<double> rounds;
+  rounds.reserve(seeds);
+  for (std::uint32_t s = 0; s < seeds; ++s) {
+    config.seed = seed_base + s;
+    rounds.push_back(
+        static_cast<double>(harness::run_renaming(config).rounds));
+  }
+  return stats::summarize(rounds);
+}
+
+/// Prints the two competing complexity-model fits for a rounds-vs-x series
+/// (x is n for size sweeps, f for failure sweeps).
+inline void print_model_fits(const std::vector<double>& x_values,
+                             const std::vector<double>& mean_rounds,
+                             const std::string& variable = "n") {
+  const stats::LinearFit log_fit = stats::fit_against(
+      x_values, mean_rounds, [](double x) { return std::log2(x); });
+  const stats::LinearFit loglog_fit = stats::fit_against(
+      x_values, mean_rounds, [](double x) { return log2_log2(x); });
+  std::cout << "model fits (rounds ~ a*x + b):\n"
+            << "  x = log2(" << variable << "):      a="
+            << stats::fmt_fixed(log_fit.slope, 3)
+            << "  b=" << stats::fmt_fixed(log_fit.intercept, 2)
+            << "  R^2=" << stats::fmt_fixed(log_fit.r_squared, 4) << '\n'
+            << "  x = log2(log2 " << variable << "): a="
+            << stats::fmt_fixed(loglog_fit.slope, 3)
+            << "  b=" << stats::fmt_fixed(loglog_fit.intercept, 2)
+            << "  R^2=" << stats::fmt_fixed(loglog_fit.r_squared, 4) << '\n';
+}
+
+}  // namespace bil::bench

@@ -1,0 +1,87 @@
+// E7 — message and bit complexity of the model.
+//
+// The paper's model charges one round per lock-step exchange; this bench
+// reports what the rounds cost in traffic: messages and bytes delivered,
+// per process per round and in total, for BiL and each baseline. BiL's
+// payloads are O(log n) bits (endpoint-encoded candidate paths); gossip's
+// grow to Θ(n log n) bits (the whole id set), which is the hidden constant
+// behind its "simple" linear-round approach.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace bil;
+
+void traffic_table() {
+  const std::vector<harness::Algorithm> algorithms = {
+      harness::Algorithm::kBallsIntoLeaves,
+      harness::Algorithm::kEarlyTerminating,
+      harness::Algorithm::kHalving,
+      harness::Algorithm::kNaiveBins,
+      harness::Algorithm::kGossip,
+  };
+  stats::Table table({"algorithm", "n", "rounds", "msgs/proc/round",
+                      "bytes/proc/round", "max payload B", "total MB"});
+  for (harness::Algorithm algorithm : algorithms) {
+    for (std::uint32_t n : {64u, 256u}) {
+      harness::RunConfig config;
+      config.algorithm = algorithm;
+      config.n = n;
+      config.seed = 1;
+      const auto summary = harness::run_renaming(config);
+      const double rounds = summary.total_rounds;
+      const double per_proc_round_msgs =
+          static_cast<double>(summary.messages_delivered) / rounds / n;
+      const double per_proc_round_bytes =
+          static_cast<double>(summary.bytes_delivered) / rounds / n;
+      table.add_row(
+          {to_string(algorithm), stats::fmt_int(n),
+           stats::fmt_int(summary.rounds),
+           stats::fmt_fixed(per_proc_round_msgs, 1),
+           stats::fmt_fixed(per_proc_round_bytes, 1),
+           stats::fmt_int(summary.raw.metrics.max_payload_bytes),
+           stats::fmt_fixed(
+               static_cast<double>(summary.bytes_delivered) / 1e6, 2)});
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+}
+
+void payload_growth() {
+  // BiL payload size must grow like log n (varint-coded node ids), not n.
+  stats::Table table({"n", "BiL max payload B", "gossip max payload B"});
+  for (std::uint32_t n : {16u, 64u, 256u, 512u}) {
+    harness::RunConfig config;
+    config.n = n;
+    config.seed = 2;
+    const auto bil_run = harness::run_renaming(config);
+    config.algorithm = harness::Algorithm::kGossip;
+    // Cap gossip's rounds via a small t: traffic shape is visible already.
+    config.gossip_t = 4;
+    const auto gossip_run = harness::run_renaming(config);
+    table.add_row(
+        {stats::fmt_int(n),
+         stats::fmt_int(bil_run.raw.metrics.max_payload_bytes),
+         stats::fmt_int(gossip_run.raw.metrics.max_payload_bytes)});
+  }
+  std::cout << "\npayload growth with n (gossip capped at t=4 rounds; its "
+               "payload is the full known-id set)\n\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E7  bench_message_cost   [model accounting]",
+      "Traffic behind the round counts: BiL pays O(log n)-bit payloads; "
+      "gossip pays Θ(n log n)-bit payloads.");
+  traffic_table();
+  payload_growth();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E11 — micro-benchmarks (google-benchmark): the building blocks' costs.
+// Not a paper claim; engineering data for users sizing simulations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fast_sim.h"
+#include "core/messages.h"
+#include "core/policy.h"
+#include "tree/local_view.h"
+#include "tree/shape.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bil;
+
+void BM_TreeShapeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    tree::TreeShape shape(n);
+    benchmark::DoNotOptimize(shape.num_nodes());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TreeShapeBuild)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_WeightedPathSample(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto shape = tree::TreeShape::make(n);
+  tree::LocalTreeView view(shape);
+  std::vector<sim::Label> labels(n / 2);
+  for (std::uint32_t i = 0; i < n / 2; ++i) {
+    labels[i] = i;
+  }
+  view.insert_all_at_root(labels);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sample_weighted_leaf(view, tree::TreeShape::root(), rng));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_WeightedPathSample)->Range(1 << 8, 1 << 16)->Complexity();
+
+void BM_DescendAndReset(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto shape = tree::TreeShape::make(n);
+  tree::LocalTreeView view(shape);
+  view.insert_all_at_root(std::vector<sim::Label>{0});
+  Rng rng(9);
+  for (auto _ : state) {
+    const tree::NodeId leaf = shape->leaf_at(
+        static_cast<std::uint32_t>(rng.below(n)));
+    benchmark::DoNotOptimize(view.descend_toward(0, leaf));
+    view.reposition(0, tree::TreeShape::root());
+  }
+}
+BENCHMARK(BM_DescendAndReset)->Range(1 << 8, 1 << 16);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  const core::Message message =
+      core::PathMsg{.label = 123456, .start = 77, .target = 4093};
+  for (auto _ : state) {
+    const wire::Buffer buffer = core::encode_message(message);
+    benchmark::DoNotOptimize(core::decode_message(buffer));
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_FastSimFullRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::FastSimOptions options;
+    options.n = n;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(core::run_fast_sim(options).phases);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FastSimFullRun)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_OrderedBalls(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto shape = tree::TreeShape::make(n);
+  tree::LocalTreeView view(shape);
+  std::vector<sim::Label> labels(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    labels[i] = i;
+  }
+  view.insert_all_at_root(labels);
+  Rng rng(3);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    view.descend_toward(i, shape->leaf_at(
+                               static_cast<std::uint32_t>(rng.below(n))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.ordered_balls().size());
+  }
+}
+BENCHMARK(BM_OrderedBalls)->Range(1 << 8, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E1 — Theorem 2: Balls-into-Leaves terminates in O(log log n) rounds w.h.p.
+//
+// Two sweeps:
+//   (a) fast single-view simulator, n = 2^4 .. 2^18, failure-free — the
+//       regime of the paper's §5 analysis ("without crashes, local views
+//       are always identical"); 30 seeds per size;
+//   (b) full message-passing engine, n = 2^4 .. 2^10, as a cross-check that
+//       the fast numbers are the real protocol's numbers.
+//
+// Expected shape: mean rounds grows by ~0-1 per doubling-of-exponent, the
+// log2(log2 n) model fits with a clearly better R^2 than log2(n), and the
+// log2(n) slope is near zero. Compare with bench_separation's deterministic
+// baselines, whose rounds are exactly 2·log2(n)+1.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fast_sim.h"
+
+namespace {
+
+void fast_sweep() {
+  using namespace bil;
+  constexpr std::uint32_t kSeeds = 30;
+  stats::Table table({"n", "mean rounds", "median", "p99", "max", "phases(mean)"});
+  std::vector<double> n_values;
+  std::vector<double> means;
+  for (std::uint32_t exp = 4; exp <= 18; ++exp) {
+    const std::uint32_t n = 1u << exp;
+    std::vector<double> rounds;
+    double phase_total = 0;
+    for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
+      core::FastSimOptions options;
+      options.n = n;
+      options.seed = seed;
+      const auto result = core::run_fast_sim(options);
+      rounds.push_back(static_cast<double>(result.rounds()));
+      phase_total += result.phases;
+    }
+    const stats::Summary summary = stats::summarize(rounds);
+    table.add_row({stats::fmt_int(n), stats::fmt_fixed(summary.mean, 2),
+                   stats::fmt_fixed(summary.median, 1),
+                   stats::fmt_fixed(summary.p99, 1),
+                   stats::fmt_fixed(summary.max, 0),
+                   stats::fmt_fixed(phase_total / kSeeds, 2)});
+    n_values.push_back(n);
+    means.push_back(summary.mean);
+  }
+  std::cout << "\n(a) fast single-view sweep, failure-free, " << kSeeds
+            << " seeds per n\n\n";
+  table.print(std::cout);
+  std::cout << '\n';
+  bil::bench::print_model_fits(n_values, means);
+}
+
+void engine_sweep() {
+  using namespace bil;
+  stats::Table table({"n", "mean rounds", "max", "seeds"});
+  for (std::uint32_t exp = 4; exp <= 10; ++exp) {
+    const std::uint32_t n = 1u << exp;
+    const std::uint32_t seeds = n <= 256 ? 10u : 5u;
+    harness::RunConfig config;
+    config.n = n;
+    const stats::Summary summary = bench::rounds_summary(config, seeds);
+    table.add_row({stats::fmt_int(n), stats::fmt_fixed(summary.mean, 2),
+                   stats::fmt_fixed(summary.max, 0), stats::fmt_int(seeds)});
+  }
+  std::cout << "\n(b) full message-passing engine cross-check, failure-free\n\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bil::bench::print_banner(
+      "E1  bench_rounds_vs_n   [Theorem 2]",
+      "Balls-into-Leaves solves tight renaming in O(log log n) rounds w.h.p.");
+  fast_sweep();
+  engine_sweep();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Why load balancing does not solve renaming (paper §1–§2).
+//
+// "Surprisingly, a careful analysis of existing load balancing techniques
+// reveals that none of them can be used to achieve sub-logarithmic tight
+// renaming, since they either are designed for a fault-free setting, or
+// relax the one-to-one allocation requirement."
+//
+// This example makes the observation quantitative: the classic parallel
+// power-of-two-choices allocator, run for the handful of rounds that makes
+// it famous, produces a *beautifully balanced* allocation — and an invalid
+// renaming, because balance is measured in max load while renaming requires
+// max load exactly one. Balls-into-Leaves gets the one-to-one guarantee
+// (with crash tolerance!) in a comparable number of rounds.
+#include <iostream>
+
+#include "baselines/two_choice.h"
+#include "harness/runner.h"
+
+int main() {
+  using namespace bil;
+  constexpr std::uint32_t kN = 4096;
+
+  std::cout << "n = " << kN << " balls into " << kN << " bins\n\n";
+
+  std::cout << "parallel two-choice load balancing (fault-free, idealized):\n";
+  for (std::uint32_t rounds : {1u, 2u, 4u, 8u}) {
+    baselines::TwoChoiceOptions options;
+    options.balls = kN;
+    options.bins = kN;
+    options.rounds = rounds;
+    options.seed = 7;
+    const baselines::TwoChoiceResult result =
+        baselines::run_two_choice(options);
+    std::cout << "  " << rounds << " round" << (rounds == 1 ? " " : "s")
+              << ": max load " << result.max_load << ", bins used "
+              << result.bins_used << ", balls sharing a bin "
+              << result.colliding_balls
+              << (result.is_one_to_one() ? "  -> one-to-one!"
+                                         : "  -> NOT a renaming")
+              << "\n";
+  }
+
+  std::cout << "\nBalls-into-Leaves (crash-tolerant, tight):\n";
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    harness::RunConfig config;
+    config.n = kN;
+    config.seed = seed;
+    // Even with a quarter of the processes crashing mid-protocol:
+    config.adversary =
+        harness::AdversarySpec{.kind = harness::AdversaryKind::kOblivious,
+                               .crashes = kN / 4,
+                               .horizon = 8};
+    const harness::RunSummary summary = harness::run_renaming(config);
+    std::cout << "  seed " << seed << ": " << summary.rounds
+              << " rounds, max load 1 by construction, "
+              << summary.crashes << " crashes tolerated\n";
+  }
+
+  std::cout
+      << "\nThe allocator's residual collisions are not a corner case —\n"
+         "they are the whole difficulty. Resolving them under crashes is\n"
+         "exactly what Balls-into-Leaves' tree capacities, priorities and\n"
+         "two-round synchronization are for.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The paper's motivating scenario (§1): n failure-prone servers must assign
+// themselves one-to-one to n distinct items — here, n worker servers
+// claiming n shards of a partitioned job — in as few synchronized
+// coordination rounds as possible.
+//
+// The example contrasts three ways a deployment could solve it:
+//   * gossip the full membership for t+1 rounds and take ranks (the
+//     "obvious" approach — linear time),
+//   * naive randomized claims with retry (log-ish time, no structure),
+//   * Balls-into-Leaves (log log time, crash-tolerant, perfectly tight).
+// A third of the servers crash mid-protocol in each run.
+#include <iostream>
+
+#include "harness/runner.h"
+
+namespace {
+
+struct Candidate {
+  const char* description;
+  bil::harness::Algorithm algorithm;
+};
+
+}  // namespace
+
+int main() {
+  using namespace bil;
+  constexpr std::uint32_t kServers = 128;
+  constexpr std::uint32_t kCrashes = kServers / 3;
+
+  std::cout << kServers << " servers, " << kServers << " shards, up to "
+            << kCrashes
+            << " servers crash mid-protocol (mid-broadcast, adaptive).\n"
+            << "Each coordination round is a full synchronized exchange — "
+               "the expensive unit.\n\n";
+
+  const Candidate candidates[] = {
+      {"gossip membership, take ranks (t+1 rounds)",
+       harness::Algorithm::kGossip},
+      {"naive random claims with retry", harness::Algorithm::kNaiveBins},
+      {"Balls-into-Leaves", harness::Algorithm::kBallsIntoLeaves},
+      {"Balls-into-Leaves + early termination",
+       harness::Algorithm::kEarlyTerminating},
+  };
+
+  for (const Candidate& candidate : candidates) {
+    double rounds_total = 0;
+    double worst = 0;
+    constexpr std::uint64_t kSeeds = 5;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      harness::RunConfig config;
+      config.algorithm = candidate.algorithm;
+      config.n = kServers;
+      config.seed = seed;
+      config.adversary =
+          harness::AdversarySpec{.kind = harness::AdversaryKind::kOblivious,
+                                 .crashes = kCrashes,
+                                 .horizon = 8,
+                                 .subset = sim::SubsetPolicy::kRandomHalf};
+      // Gossip must be provisioned for the crash budget it may face.
+      config.gossip_t = kCrashes;
+      const harness::RunSummary summary = harness::run_renaming(config);
+      rounds_total += summary.rounds;
+      worst = std::max(worst, static_cast<double>(summary.rounds));
+    }
+    std::cout << "  " << candidate.description << ":\n    mean "
+              << rounds_total / kSeeds << " rounds, worst " << worst
+              << " rounds across " << kSeeds << " runs\n";
+  }
+
+  std::cout
+      << "\nEvery run above ended with each surviving server owning a\n"
+         "distinct shard in 1.." << kServers
+      << " — the harness validates uniqueness, validity and termination\n"
+         "on every execution and throws otherwise.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Regenerates the paper's illustrations from live protocol state:
+//   Figure 1  — initial configuration: all balls at the root;
+//   Figure 2a — "all balls choose the first leaf": the deterministic
+//               collision worst case (every ball targets leaf 0);
+//   Figure 2b — "choices are well distributed": the real weighted-random
+//               phase;
+//   Figure 4  — a closer look at one path: balls stuck on the rightmost
+//               path and the gateway subtrees that will absorb them.
+//
+// The renders come from an actual LocalTreeView evolved by the actual
+// movement rule (<R priorities, capacity clipping), not from hand-drawn
+// state.
+#include <iostream>
+#include <vector>
+
+#include "core/policy.h"
+#include "harness/ascii_tree.h"
+#include "tree/local_view.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bil;
+
+void figure1(tree::LocalTreeView& view) {
+  std::cout << "--- Figure 1: initial configuration (all balls at the root) "
+               "---\n\n";
+  harness::render_tree(std::cout, view);
+  std::cout << '\n';
+}
+
+void figure2a(const std::shared_ptr<const tree::TreeShape>& shape) {
+  std::cout << "--- Figure 2a: all balls choose the first leaf ---\n"
+            << "(every ball proposes the path to leaf 0; priorities let one "
+               "through per level)\n\n";
+  tree::LocalTreeView view(shape);
+  view.insert_all_at_root(std::vector<sim::Label>{0, 1, 2, 3, 4, 5, 6, 7});
+  for (sim::Label ball : view.ordered_balls()) {
+    view.descend_toward(ball, shape->leaf_at(0));
+  }
+  harness::render_tree(std::cout, view);
+  std::cout << '\n';
+}
+
+void figure2b(const std::shared_ptr<const tree::TreeShape>& shape) {
+  std::cout << "--- Figure 2b: choices are well distributed ---\n"
+            << "(capacity-weighted random targets, the real phase 1)\n\n";
+  tree::LocalTreeView view(shape);
+  view.insert_all_at_root(std::vector<sim::Label>{0, 1, 2, 3, 4, 5, 6, 7});
+  // Sample each ball's candidate leaf from the phase-start view, then move
+  // in <R order — exactly Algorithm 1's two steps.
+  std::vector<tree::NodeId> target(8);
+  Rng rng(12);
+  for (sim::Label ball = 0; ball < 8; ++ball) {
+    Rng ball_rng = rng.fork(ball);
+    target[ball] =
+        core::sample_weighted_leaf(view, tree::TreeShape::root(), ball_rng);
+  }
+  for (sim::Label ball : view.ordered_balls()) {
+    view.descend_toward(ball, target[ball]);
+  }
+  harness::render_tree(std::cout, view);
+  std::cout << '\n';
+}
+
+void figure4(const std::shared_ptr<const tree::TreeShape>& shape) {
+  std::cout << "--- Figure 4: a closer look at the rightmost path ---\n"
+            << "(5 balls on the path; each gateway subtree hanging off the "
+               "path has free\nleaves — their total equals the path "
+               "population, Lemma 8)\n\n";
+  tree::LocalTreeView view(shape);
+  view.insert_all_at_root(std::vector<sim::Label>{0, 1, 2, 3, 4, 5, 6, 7});
+  // Park 3 balls at leaves off the path, 5 balls along the rightmost path.
+  view.reposition(0, shape->leaf_at(1));
+  view.reposition(1, shape->leaf_at(2));
+  view.reposition(2, shape->leaf_at(3));
+  const tree::NodeId root = tree::TreeShape::root();
+  const tree::NodeId right1 = shape->right(root);
+  const tree::NodeId right2 = shape->right(right1);
+  view.reposition(3, root);
+  view.reposition(4, root);
+  view.reposition(5, right1);
+  view.reposition(6, right2);
+  view.reposition(7, right2);
+  harness::render_tree(std::cout, view);
+  std::cout << "\npath population (root→parent of leaf 7): "
+            << view.max_inner_path_load()
+            << "; free leaves reachable via gateways: "
+            << (view.remaining_capacity(root)) << "\n\n";
+  std::cout << "depth histogram of the same configuration:\n";
+  harness::render_depth_histogram(std::cout, view);
+}
+
+}  // namespace
+
+int main() {
+  auto shape = tree::TreeShape::make(8);
+  tree::LocalTreeView initial(shape);
+  initial.insert_all_at_root(std::vector<sim::Label>{0, 1, 2, 3, 4, 5, 6, 7});
+  figure1(initial);
+  figure2a(shape);
+  figure2b(shape);
+  figure4(shape);
+  return 0;
+}

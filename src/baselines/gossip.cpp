@@ -1,0 +1,59 @@
+#include "baselines/gossip.h"
+
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace bil::baselines {
+
+namespace {
+wire::Buffer encode_known(const std::set<sim::Label>& known) {
+  wire::Writer writer(8 + 4 * known.size());
+  writer.seq(known, [](wire::Writer& w, sim::Label label) { w.varint(label); });
+  return std::move(writer).take();
+}
+
+std::vector<sim::Label> decode_known(std::span<const std::byte> bytes) {
+  wire::Reader reader(bytes);
+  auto labels =
+      reader.seq([](wire::Reader& r) -> sim::Label { return r.varint(); });
+  reader.expect_done();
+  return labels;
+}
+}  // namespace
+
+GossipRenamingProcess::GossipRenamingProcess(Options options)
+    : options_(options) {
+  known_.insert(options_.label);
+}
+
+void GossipRenamingProcess::on_send(sim::RoundNumber /*round*/,
+                                    sim::Outbox& out) {
+  out.broadcast(encode_known(known_));
+}
+
+void GossipRenamingProcess::on_receive(sim::RoundNumber round,
+                                       std::span<const sim::Envelope> inbox) {
+  for (const sim::Envelope& envelope : inbox) {
+    try {
+      for (sim::Label label : decode_known(envelope.bytes())) {
+        known_.insert(label);
+      }
+    } catch (const wire::WireError&) {
+      // Malformed traffic cannot arise from crash faults; skip defensively.
+    }
+  }
+  if (round == options_.max_crashes) {  // rounds 0..t executed: t+1 rounds
+    std::uint64_t rank = 1;
+    for (sim::Label label : known_) {
+      if (label == options_.label) {
+        break;
+      }
+      ++rank;
+    }
+    decide(rank);
+    halt();
+  }
+}
+
+}  // namespace bil::baselines

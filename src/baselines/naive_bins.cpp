@@ -1,0 +1,121 @@
+#include "baselines/naive_bins.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+#include "wire/wire.h"
+
+namespace bil::baselines {
+
+namespace {
+
+enum class BinMsgType : std::uint8_t { kClaim = 1, kHold = 2 };
+
+struct BinMsg {
+  BinMsgType type;
+  sim::Label label;
+  std::uint32_t bin;
+};
+
+wire::Buffer encode_bin_msg(const BinMsg& msg) {
+  wire::Writer writer(12);
+  writer.u8(static_cast<std::uint8_t>(msg.type));
+  writer.varint(msg.label);
+  writer.varint(msg.bin);
+  return std::move(writer).take();
+}
+
+BinMsg decode_bin_msg(std::span<const std::byte> bytes) {
+  wire::Reader reader(bytes);
+  BinMsg msg{};
+  const std::uint8_t type = reader.u8();
+  if (type != static_cast<std::uint8_t>(BinMsgType::kClaim) &&
+      type != static_cast<std::uint8_t>(BinMsgType::kHold)) {
+    throw wire::WireError("unknown bin message type");
+  }
+  msg.type = static_cast<BinMsgType>(type);
+  msg.label = reader.varint();
+  msg.bin = static_cast<std::uint32_t>(reader.varint());
+  reader.expect_done();
+  return msg;
+}
+
+}  // namespace
+
+NaiveBinsProcess::NaiveBinsProcess(Options options)
+    : options_(options),
+      rng_(options.seed),
+      claimed_bin_(options.num_bins),
+      held_bin_(options.num_bins),
+      taken_(options.num_bins, false) {
+  BIL_REQUIRE(options_.num_bins >= 1, "need at least one bin");
+}
+
+void NaiveBinsProcess::on_send(sim::RoundNumber /*round*/, sim::Outbox& out) {
+  if (held_bin_ != options_.num_bins) {
+    out.broadcast(encode_bin_msg(
+        {BinMsgType::kHold, options_.label, held_bin_}));
+    return;
+  }
+  // Pick uniformly among the bins believed free.
+  const auto free_count = static_cast<std::uint64_t>(
+      std::count(taken_.begin(), taken_.end(), false));
+  BIL_ENSURE(free_count > 0,
+             "a ball without a bin must always see a free bin");
+  std::uint64_t pick = rng_.below(free_count);
+  claimed_bin_ = options_.num_bins;
+  for (std::uint32_t bin = 0; bin < options_.num_bins; ++bin) {
+    if (!taken_[bin] && pick-- == 0) {
+      claimed_bin_ = bin;
+      break;
+    }
+  }
+  out.broadcast(
+      encode_bin_msg({BinMsgType::kClaim, options_.label, claimed_bin_}));
+}
+
+void NaiveBinsProcess::on_receive(sim::RoundNumber /*round*/,
+                                  std::span<const sim::Envelope> inbox) {
+  // Per bin: is there a holder, and who is the lowest-labelled claimant?
+  constexpr sim::Label kNone = static_cast<sim::Label>(-1);
+  std::vector<sim::Label> best_claimant(options_.num_bins, kNone);
+  std::vector<bool> held(options_.num_bins, false);
+  bool any_claim = false;
+  for (const sim::Envelope& envelope : inbox) {
+    try {
+      const BinMsg msg = decode_bin_msg(envelope.bytes());
+      if (msg.bin >= options_.num_bins) {
+        continue;
+      }
+      if (msg.type == BinMsgType::kHold) {
+        held[msg.bin] = true;
+      } else {
+        any_claim = true;
+        best_claimant[msg.bin] = std::min(best_claimant[msg.bin], msg.label);
+      }
+    } catch (const wire::WireError&) {
+      // skip
+    }
+  }
+  // Rebuild the free list from this round's traffic only: bins whose holder
+  // fell silent (crashed) become free again; bins won this round become
+  // taken. A bin also counts as taken when a claim beat ours — the claimant
+  // may or may not have won it in its own view, so we re-examine next round
+  // (it will either Hold or fall back to Claim).
+  for (std::uint32_t bin = 0; bin < options_.num_bins; ++bin) {
+    taken_[bin] = held[bin] || best_claimant[bin] != kNone;
+  }
+  if (held_bin_ == options_.num_bins && claimed_bin_ != options_.num_bins &&
+      !held[claimed_bin_] &&
+      best_claimant[claimed_bin_] == options_.label) {
+    held_bin_ = claimed_bin_;
+  }
+  claimed_bin_ = options_.num_bins;
+  if (held_bin_ != options_.num_bins && !any_claim) {
+    // Everyone still alive holds a bin; the assignment is complete.
+    decide(held_bin_ + 1);
+    halt();
+  }
+}
+
+}  // namespace bil::baselines

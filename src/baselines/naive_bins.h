@@ -1,0 +1,62 @@
+// Naive parallel balls-into-bins renaming — the tree-free randomized
+// baseline ("the naive random balls-into-bins strategy", paper §2).
+//
+// Each phase is ONE broadcast round:
+//   * a ball that holds no bin picks a uniformly random bin among those it
+//     believes free and broadcasts Claim⟨label, bin⟩;
+//   * a ball that holds a bin rebroadcasts Hold⟨label, bin⟩ (holders must
+//     keep talking: a silent holder is indistinguishable from a crashed
+//     one, and its bin must eventually be reusable).
+// On receipt, the winner of bin L is the holder of L if any, else the
+// lowest-labelled claimant. Two correct claimants always see each other's
+// claims, so at most one correct ball can win a bin; a crashed lower-label
+// claimant seen by only part of the views merely makes the bin stay free for
+// a phase. A ball decides (bin index) and halts once it holds a bin and
+// received no Claim at all this round — i.e. every ball still alive holds a
+// bin.
+//
+// Contrast with Balls-into-Leaves: no tree, no capacity steering, no
+// information exchange beyond claims — collisions are resolved by blind
+// retry, which costs Θ(log n)-flavoured round counts instead of
+// O(log log n) (experiment E2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace bil::baselines {
+
+class NaiveBinsProcess final : public sim::ProcessBase {
+ public:
+  struct Options {
+    /// Number of bins (= target namespace size = number of processes).
+    std::uint32_t num_bins = 0;
+    sim::Label label = 0;
+    std::uint64_t seed = 0;
+  };
+
+  explicit NaiveBinsProcess(Options options);
+
+  void on_send(sim::RoundNumber round, sim::Outbox& out) override;
+  void on_receive(sim::RoundNumber round,
+                  std::span<const sim::Envelope> inbox) override;
+
+  /// Bin currently held (0-based), or num_bins if none.
+  [[nodiscard]] std::uint32_t held_bin() const noexcept { return held_bin_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  /// Bin claimed this round (valid until the matching on_receive).
+  std::uint32_t claimed_bin_;
+  std::uint32_t held_bin_;
+  /// Bins believed taken, rebuilt from each round's traffic.
+  std::vector<bool> taken_;
+};
+
+}  // namespace bil::baselines

@@ -1,0 +1,62 @@
+#include "baselines/two_choice.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace bil::baselines {
+
+TwoChoiceResult run_two_choice(const TwoChoiceOptions& options) {
+  BIL_REQUIRE(options.balls >= 1 && options.bins >= 1,
+              "need at least one ball and one bin");
+  BIL_REQUIRE(options.choices >= 1, "need at least one choice per ball");
+  BIL_REQUIRE(options.rounds >= 1, "need at least one round");
+
+  Rng rng(options.seed);
+  std::vector<std::uint32_t> load(options.bins, 0);
+  std::vector<std::uint32_t> bin_of(options.balls, 0);
+
+  // Round 1: no load information exists yet; every ball commits to the
+  // least loaded of its d choices against the empty allocation, i.e.
+  // effectively at random. Subsequent rounds re-commit against the previous
+  // round's loads (the parallel-information pattern of [1]): balls in
+  // crowded bins tend to move, balls alone tend to stay.
+  for (std::uint32_t round = 0; round < options.rounds; ++round) {
+    std::vector<std::uint32_t> next_load(options.bins, 0);
+    for (std::uint32_t ball = 0; ball < options.balls; ++ball) {
+      std::uint32_t best_bin = bin_of[ball];
+      // A ball alone in its bin keeps it; everyone else redraws.
+      const bool settled = round > 0 && load[best_bin] == 1;
+      if (!settled) {
+        std::uint32_t best_load = ~0u;
+        for (std::uint32_t c = 0; c < options.choices; ++c) {
+          const auto candidate =
+              static_cast<std::uint32_t>(rng.below(options.bins));
+          const std::uint32_t candidate_load = round == 0 ? 0 : load[candidate];
+          if (candidate_load < best_load) {
+            best_load = candidate_load;
+            best_bin = candidate;
+          }
+        }
+      }
+      bin_of[ball] = best_bin;
+      next_load[best_bin] += 1;
+    }
+    load = std::move(next_load);
+  }
+
+  TwoChoiceResult result;
+  result.bin_of = std::move(bin_of);
+  for (std::uint32_t bin = 0; bin < options.bins; ++bin) {
+    result.max_load = std::max(result.max_load, load[bin]);
+    result.bins_used += load[bin] > 0 ? 1u : 0u;
+  }
+  for (std::uint32_t ball = 0; ball < options.balls; ++ball) {
+    if (load[result.bin_of[ball]] > 1) {
+      ++result.colliding_balls;
+    }
+  }
+  return result;
+}
+
+}  // namespace bil::baselines

@@ -1,0 +1,60 @@
+// Parallel d-choice load balancing — the technique the paper's introduction
+// rules out.
+//
+// The paper (§1–§2) observes that the elegant sub-logarithmic parallel
+// load-balancing algorithms (Adler et al. [1], Lenzen–Wattenhofer [17],
+// power-of-two-choices [18]) do not solve tight renaming: they either assume
+// a fault-free synchronous world or relax the one-ball-per-bin requirement.
+// This module implements the *idealized, fault-free* multi-round parallel
+// d-choice allocator so that examples and tests can demonstrate the gap
+// quantitatively: after its rounds complete, the maximum load is small
+// (that is the load-balancing guarantee) but many bins hold several balls —
+// the allocation is not a renaming, and turning it into one costs exactly
+// the kind of extra conflict-resolution work Balls-into-Leaves builds in.
+//
+// Model (Adler et al. style, collision-retry variant): in each round, every
+// unplaced ball picks d bins uniformly at random and commits to the least
+// loaded among them (ties toward the lower index); all commitments in a
+// round are concurrent, so several balls can commit to the same bin. After
+// `rounds` rounds every ball is somewhere — possibly sharing a bin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bil::baselines {
+
+struct TwoChoiceOptions {
+  std::uint32_t balls = 0;
+  std::uint32_t bins = 0;
+  /// Choices per ball per round (d = 2 is the classic power of two choices).
+  std::uint32_t choices = 2;
+  /// Parallel rounds; each unplaced... every ball re-commits each round to
+  /// the least loaded of its d fresh choices (load counts from the previous
+  /// round's allocation).
+  std::uint32_t rounds = 2;
+  std::uint64_t seed = 0;
+};
+
+struct TwoChoiceResult {
+  /// bin_of[i] = final bin of ball i.
+  std::vector<std::uint32_t> bin_of;
+  /// Number of balls in the fullest bin.
+  std::uint32_t max_load = 0;
+  /// Bins holding at least one ball.
+  std::uint32_t bins_used = 0;
+  /// Balls sharing a bin with at least one other ball — every one of these
+  /// would violate renaming's uniqueness if the bin index were its name.
+  std::uint32_t colliding_balls = 0;
+
+  [[nodiscard]] bool is_one_to_one() const noexcept {
+    return colliding_balls == 0;
+  }
+};
+
+/// Runs the allocator to completion. Deterministic in the options.
+[[nodiscard]] TwoChoiceResult run_two_choice(const TwoChoiceOptions& options);
+
+}  // namespace bil::baselines

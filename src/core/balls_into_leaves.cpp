@@ -1,0 +1,227 @@
+#include "core/balls_into_leaves.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.h"
+#include "util/contract.h"
+
+namespace bil::core {
+
+namespace {
+/// Decodes every envelope into a per-label map of messages of type T,
+/// keeping the first message per label and silently skipping malformed
+/// payloads or other message types. (Crash faults cannot forge traffic, so
+/// malformed input indicates a harness misconfiguration; skipping — which
+/// makes the sender look silent, i.e. crashed — is the conservative
+/// response.)
+template <typename T>
+std::unordered_map<sim::Label, T> index_by_label(
+    std::span<const sim::Envelope> inbox) {
+  std::unordered_map<sim::Label, T> by_label;
+  by_label.reserve(inbox.size());
+  for (const sim::Envelope& envelope : inbox) {
+    try {
+      const Message message = decode_message(envelope.bytes());
+      if (const T* msg = std::get_if<T>(&message)) {
+        by_label.emplace(msg->label, *msg);
+      }
+    } catch (const wire::WireError&) {
+      // skip
+    }
+  }
+  return by_label;
+}
+}  // namespace
+
+const char* to_string(TerminationMode mode) noexcept {
+  switch (mode) {
+    case TerminationMode::kGlobal:
+      return "global";
+    case TerminationMode::kEagerLeaf:
+      return "eager-leaf";
+  }
+  return "unknown";
+}
+
+BallsIntoLeavesProcess::BallsIntoLeavesProcess(Options options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      shape_(options_.shape != nullptr
+                 ? options_.shape
+                 : tree::TreeShape::make(options_.num_names)),
+      view_(shape_) {
+  BIL_REQUIRE(options_.num_names >= 1, "namespace must be non-empty");
+  BIL_REQUIRE(shape_->num_leaves() == options_.num_names,
+              "shared tree shape does not match num_names");
+}
+
+void BallsIntoLeavesProcess::on_send(sim::RoundNumber round, sim::Outbox& out) {
+  if (round == 0) {
+    out.broadcast(encode_message(InitMsg{options_.label}));
+    return;
+  }
+  const sim::Label me = options_.label;
+  const tree::NodeId current = view_.current(me);
+  if (round % 2 == 1) {
+    // Phase round 1: choose and announce the candidate path (lines 3–11).
+    my_target_ = choose_target(current);
+    out.broadcast(encode_message(PathMsg{me, current, my_target_}));
+    return;
+  }
+  // Phase round 2: announce the position reached (line 22).
+  out.broadcast(encode_message(PositionMsg{me, current}));
+  if (options_.termination == TerminationMode::kEagerLeaf &&
+      shape_->is_leaf(current) && !has_decided()) {
+    // Early decision: once at a leaf a ball never moves (candidate paths
+    // from a leaf are trivial and no peer can displace it — Theorem 1), so
+    // the name is final now. The ball keeps participating until the global
+    // halt condition; see TerminationMode::kEagerLeaf for why halting here
+    // would be unsound.
+    decide(shape_->leaf_rank(current) + 1);
+  }
+}
+
+void BallsIntoLeavesProcess::on_receive(sim::RoundNumber round,
+                                        std::span<const sim::Envelope> inbox) {
+  if (round == 0) {
+    process_init(inbox);
+    return;
+  }
+  if (round % 2 == 1) {
+    process_round1(inbox);
+    return;
+  }
+  process_round2(inbox);
+  if (options_.observer != nullptr) {
+    options_.observer->on_phase_end(view_, snapshot_view(view_, phase_));
+  }
+  maybe_finish();
+  ++phase_;
+}
+
+tree::NodeId BallsIntoLeavesProcess::choose_target(tree::NodeId current) {
+  if (shape_->is_leaf(current)) {
+    return current;  // trivial path {leaf}; the ball never moves again
+  }
+  switch (options_.policy) {
+    case PathPolicy::kRandomWeighted:
+      return sample_weighted_leaf(view_, current, rng_);
+    case PathPolicy::kRankedSlack:
+      return ranked_slack_leaf(view_, current,
+                               rank_among_node_mates(view_, options_.label));
+    case PathPolicy::kEarlyTerminating:
+      // §6: deterministic rank-indexed leaf in phase 1 — with all balls at
+      // the root, the rank among node mates *is* the rank in
+      // OrderedBalls() — then the randomized rule.
+      if (phase_ == 1) {
+        return ranked_slack_leaf(view_, current,
+                                 rank_among_node_mates(view_, options_.label));
+      }
+      return sample_weighted_leaf(view_, current, rng_);
+    case PathPolicy::kHalvingSplit:
+      return halving_child(
+          view_, current, rank_among_node_mates(view_, options_.label),
+          view_.balls_at(current));
+    case PathPolicy::kRandomUniform:
+      return sample_uniform_leaf(view_, current, rng_);
+  }
+  BIL_ENSURE(false, "unreachable: unknown path policy");
+  return tree::kNoNode;
+}
+
+std::vector<sim::Label> BallsIntoLeavesProcess::movement_order() const {
+  if (options_.movement_order == MovementOrder::kDepthThenLabel) {
+    return view_.ordered_balls();
+  }
+  return view_.balls();  // ablation: label order, see MovementOrder
+}
+
+void BallsIntoLeavesProcess::process_init(
+    std::span<const sim::Envelope> inbox) {
+  std::vector<sim::Label> labels;
+  labels.reserve(inbox.size());
+  for (const sim::Envelope& envelope : inbox) {
+    try {
+      const Message message = decode_message(envelope.bytes());
+      if (const InitMsg* msg = std::get_if<InitMsg>(&message)) {
+        labels.push_back(msg->label);
+      }
+    } catch (const wire::WireError&) {
+      // skip
+    }
+  }
+  view_.insert_all_at_root(labels);
+  BIL_ENSURE(view_.contains(options_.label),
+             "own init broadcast must loop back");
+  phase_ = 1;
+}
+
+void BallsIntoLeavesProcess::process_round1(
+    std::span<const sim::Envelope> inbox) {
+  const auto paths = index_by_label<PathMsg>(inbox);
+  // Lines 12–20: iterate a snapshot of the balls in <R order; move each ball
+  // whose path arrived, remove (at its turn — the interleaving matters, see
+  // the class comment) each ball that stayed silent.
+  for (const sim::Label ball : movement_order()) {
+    const auto it = paths.find(ball);
+    if (it == paths.end()) {
+      view_.remove(ball);
+      continue;
+    }
+    const PathMsg& path = it->second;
+    if (path.start != view_.current(ball)) {
+      // A path is always anchored at the sender's phase-start position,
+      // which every view that can receive the path agrees on (positions of
+      // correct balls are synchronized at phase boundaries, and a ball that
+      // crashed in the previous round 2 cannot send a path now). A mismatch
+      // is impossible under <R movement — but the label-order ablation
+      // deliberately breaks view synchrony, so there we take the sender's
+      // word (which is what a naive implementation would do).
+      BIL_ENSURE(options_.movement_order == MovementOrder::kLabelOnly,
+                 "candidate path start diverges from the synchronized "
+                 "position");
+      ++divergence_repairs_;
+      view_.reposition(ball, path.start);
+    }
+    BIL_ENSURE(path.target < shape_->num_nodes() &&
+                   shape_->is_ancestor_or_self(path.start, path.target),
+               "candidate path must descend within the sender's subtree");
+    view_.descend_toward(ball, path.target);
+  }
+}
+
+void BallsIntoLeavesProcess::process_round2(
+    std::span<const sim::Envelope> inbox) {
+  const auto positions = index_by_label<PositionMsg>(inbox);
+  // Lines 23–28, same snapshot-and-iterate structure as round 1.
+  for (const sim::Label ball : movement_order()) {
+    const auto it = positions.find(ball);
+    if (it == positions.end()) {
+      view_.remove(ball);
+      continue;
+    }
+    const PositionMsg& position = it->second;
+    BIL_ENSURE(position.node < shape_->num_nodes(),
+               "announced position out of range");
+    view_.reposition(ball, position.node);
+  }
+}
+
+void BallsIntoLeavesProcess::maybe_finish() {
+  if (halted()) {
+    return;
+  }
+  // Line 29: leave the protocol once every ball in the view sits at a leaf
+  // (both termination modes halt globally; kEagerLeaf merely decided
+  // earlier, in on_send).
+  if (view_.all_at_leaves()) {
+    if (!has_decided()) {
+      decide(shape_->leaf_rank(view_.current(options_.label)) + 1);
+    }
+    halt();
+  }
+}
+
+}  // namespace bil::core

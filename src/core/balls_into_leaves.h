@@ -1,0 +1,158 @@
+// The Balls-into-Leaves process — Algorithm 1 of the paper, plus the §6
+// early-terminating extension and the "terminate as soon as it reaches a
+// leaf" option the paper sketches after Algorithm 1.
+//
+// Round structure (engine rounds):
+//   round 0                init:  broadcast ⟨b_i⟩, build the local tree
+//                          with every received ball at the root (line 1).
+//   round 2φ-1 (φ >= 1)    phase φ, round 1: pick a candidate path from the
+//                          current node (lines 3–10), broadcast it
+//                          (line 11), then simulate every received ball's
+//                          capacity-clipped descent in <R order, removing
+//                          silent balls at their turn (lines 12–20).
+//   round 2φ   (φ >= 1)    phase φ, round 2: broadcast the current position
+//                          (line 22), apply every received position, remove
+//                          silent balls (lines 23–28), and terminate when
+//                          every ball in the view sits at a leaf (line 29).
+//
+// Why the <R iteration order is load-bearing: a ball that crashed in an
+// earlier round can survive as a *stale* entry in some views but not
+// others. A stale entry at node μ inflates only the subtree counts of μ's
+// ancestors, so it can only influence balls whose movement crosses an
+// ancestor of μ — and every such ball sits at depth <= depth(μ) and is
+// therefore iterated *after* μ's occupant in <R order (deeper first). Since
+// the stale ball is silent, it is removed exactly at its turn — before it
+// can deflect anyone it could possibly block. Hence all views simulate
+// identical movements for correct balls, which is the synchrony fact
+// (Proposition 1) behind uniqueness (Theorem 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/observer.h"
+#include "core/policy.h"
+#include "sim/process.h"
+#include "sim/types.h"
+#include "tree/local_view.h"
+#include "tree/shape.h"
+#include "util/rng.h"
+
+namespace bil::core {
+
+/// When a ball decides and leaves the protocol.
+enum class TerminationMode : std::uint8_t {
+  /// Algorithm 1 verbatim: a ball decides and halts once *all* balls in its
+  /// view are at leaves. Simple, and silence-removal needs no special cases.
+  kGlobal,
+  /// Early decision (the paper's sketch after Algorithm 1): a ball decides
+  /// its name the moment it has reached a leaf and announced it — its name
+  /// is final and usable from that round on — but it keeps rebroadcasting
+  /// its (now fixed) position and halts under the global rule.
+  ///
+  /// Why it must not halt at leaf arrival: a ball that crashes *while
+  /// announcing its leaf* plants a permanent "phantom" occupant in exactly
+  /// the views that received the announcement. If silent leaf balls were
+  /// then exempt from removal (they would have to be — a halted ball is
+  /// silent), a live ball parked at an inner node whose subtree's leaves
+  /// are, in its view, exhausted by such phantoms could never escape:
+  /// candidate paths start at the current node, phantoms never speak again,
+  /// and the balls whose views know the truth have no reason to touch those
+  /// leaves. The run livelocks (observed under an oblivious adversary at
+  /// n = 256 during development — see tests/adversary_test.cpp). Purging
+  /// phantoms requires the ball to keep answering, hence global halting.
+  kEagerLeaf,
+};
+
+[[nodiscard]] const char* to_string(TerminationMode mode) noexcept;
+
+/// ABLATION knob: the order in which received candidate paths / positions
+/// are applied to the local view.
+enum class MovementOrder : std::uint8_t {
+  /// Definition 1's <R: deeper balls first, ties by label. This order is
+  /// load-bearing for safety (see the class comment): stale crashed entries
+  /// are purged before they can deflect any ball they could block, so all
+  /// views simulate identical movements for correct balls.
+  kDepthThenLabel,
+  /// Plain label order — what a naive implementation might do. UNSOUND
+  /// under crashes: a stale entry at a shallow node is processed after
+  /// deeper correct balls in some views only, views diverge, and two
+  /// correct balls can decide the same leaf. bench_ablation demonstrates
+  /// observable uniqueness violations with this setting; it exists only to
+  /// show that the paper's priority order is necessary, not stylistic.
+  kLabelOnly,
+};
+
+/// One renaming participant.
+class BallsIntoLeavesProcess final : public sim::ProcessBase {
+ public:
+  struct Options {
+    /// Size of the target namespace (= number of tree leaves). For tight
+    /// renaming this equals the number of processes.
+    std::uint32_t num_names = 0;
+    /// This ball's label (original id from the unbounded namespace).
+    sim::Label label = 0;
+    /// Seed for this ball's coin flips.
+    std::uint64_t seed = 0;
+    PathPolicy policy = PathPolicy::kRandomWeighted;
+    TerminationMode termination = TerminationMode::kGlobal;
+    /// Leave at kDepthThenLabel except when reproducing the ablation.
+    MovementOrder movement_order = MovementOrder::kDepthThenLabel;
+    /// Shared tree shape; built locally when null.
+    std::shared_ptr<const tree::TreeShape> shape;
+    /// Optional phase-boundary instrumentation; not owned, may be null.
+    PhaseObserver* observer = nullptr;
+  };
+
+  explicit BallsIntoLeavesProcess(Options options);
+
+  void on_send(sim::RoundNumber round, sim::Outbox& out) override;
+  void on_receive(sim::RoundNumber round,
+                  std::span<const sim::Envelope> inbox) override;
+
+  // -- Introspection (tests, adversaries, instrumentation) -----------------
+
+  [[nodiscard]] sim::Label label() const noexcept { return options_.label; }
+  /// 1-based index of the phase currently executing (0 before init
+  /// completes).
+  [[nodiscard]] std::uint32_t phase() const noexcept { return phase_; }
+  [[nodiscard]] const tree::LocalTreeView& view() const noexcept {
+    return view_;
+  }
+  [[nodiscard]] const tree::TreeShape& shape() const noexcept {
+    return *shape_;
+  }
+  /// Candidate target chosen this phase (kNoNode outside round 1).
+  [[nodiscard]] tree::NodeId candidate_target() const noexcept {
+    return my_target_;
+  }
+  /// Number of received paths whose anchor disagreed with this view's
+  /// position for the sender — i.e. observed violations of Proposition 1's
+  /// view synchrony. Always 0 under MovementOrder::kDepthThenLabel; the
+  /// label-order ablation racks these up (see bench_ablation).
+  [[nodiscard]] std::uint64_t divergence_repairs() const noexcept {
+    return divergence_repairs_;
+  }
+
+ private:
+  [[nodiscard]] tree::NodeId choose_target(tree::NodeId current);
+  [[nodiscard]] std::vector<sim::Label> movement_order() const;
+  void process_init(std::span<const sim::Envelope> inbox);
+  void process_round1(std::span<const sim::Envelope> inbox);
+  void process_round2(std::span<const sim::Envelope> inbox);
+  void maybe_finish();
+
+  Options options_;
+  Rng rng_;
+  std::shared_ptr<const tree::TreeShape> shape_;
+  tree::LocalTreeView view_;
+  tree::NodeId my_target_ = tree::kNoNode;
+  /// 1-based phase counter; 0 until the init round completes.
+  std::uint32_t phase_ = 0;
+  std::uint64_t divergence_repairs_ = 0;
+};
+
+}  // namespace bil::core

@@ -1,0 +1,100 @@
+// Candidate-path policies.
+//
+// Algorithm 1's correctness machinery (two-round phases, <R-ordered
+// capacity-clipped movement, crash removal, position sync) is independent of
+// *how* a ball picks its candidate path. This module isolates the choice, so
+// one process implementation covers the paper's randomized algorithm, its
+// early-terminating extension (§6), and the two deterministic baselines used
+// by the separation experiment:
+//
+//   kRandomWeighted    — paper §4, lines 5–10: random walk to a leaf, each
+//                        step weighted by the remaining capacities of the
+//                        two subtrees.
+//   kRankedSlack       — paper §6's deterministic rule applied in *every*
+//                        phase: descend to the rank-th free slot, where rank
+//                        is the ball's rank among the balls at its node.
+//                        Comparison-based and deterministic; fast when
+//                        failure-free, degrades under the sandwich attack.
+//   kEarlyTerminating  — paper §6: kRankedSlack in phase 1 (collapsing the
+//                        tree into subtrees of depth O(log f)), then
+//                        kRandomWeighted.
+//   kHalvingSplit      — deterministic comparison-based baseline that
+//                        descends exactly one level per phase by splitting
+//                        each node's balls by rank between the children
+//                        (capacity-proportionally). Θ(log n) phases by
+//                        construction — the complexity class of the
+//                        Chaudhuri–Herlihy–Tuttle algorithm the paper cites
+//                        as the deterministic optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "tree/local_view.h"
+#include "util/rng.h"
+
+namespace bil::core {
+
+enum class PathPolicy : std::uint8_t {
+  kRandomWeighted,
+  kRankedSlack,
+  kEarlyTerminating,
+  kHalvingSplit,
+  /// ABLATION of the paper's coin weighting: choose uniformly between the
+  /// two subtrees whenever both have remaining capacity (still forced when
+  /// one is full, so termination is preserved). Correct but slower: without
+  /// capacity steering, random choices pile into half-full regions and the
+  /// movement rule has to clip them (bench_ablation quantifies the cost).
+  kRandomUniform,
+};
+
+[[nodiscard]] const char* to_string(PathPolicy policy) noexcept;
+
+/// ABLATION sampler (PathPolicy::kRandomUniform): like the paper's walk but
+/// with unweighted 1/2 coins wherever both subtrees have capacity.
+[[nodiscard]] tree::NodeId sample_uniform_leaf(const tree::LocalTreeView& view,
+                                               tree::NodeId from, Rng& rng);
+
+/// Paper §4, Algorithm 1 lines 5–10. Starting at `from`, repeatedly choose
+/// the left child with probability RC(left) / (RC(left) + RC(right)) until a
+/// leaf is reached; returns that leaf.
+///
+/// (The paper's pseudocode writes the denominator as RemainingCapacity(η),
+/// which differs from RC(left)+RC(right) by the number of balls sitting at η
+/// itself and is 0 for a fully loaded root; the prose — "weighted by the
+/// remaining capacity of each subtree", "if one subtree has no remaining
+/// capacity, bi chooses the other with probability 1" — pins down the
+/// normalization used here.)
+///
+/// If the view is transiently corrupted by stale crashed entries so that
+/// both subtrees below some node read full, the walk stops early and the
+/// leftmost leaf below that node is returned; movement clips at the full
+/// subtree anyway, so the choice is immaterial.
+[[nodiscard]] tree::NodeId sample_weighted_leaf(const tree::LocalTreeView& view,
+                                                tree::NodeId from, Rng& rng);
+
+/// Deterministic rank-indexed descent: returns the leaf reached from `from`
+/// by repeatedly entering the child holding the rank-th unit of remaining
+/// capacity (left child's units first). With all balls at the root and rank
+/// = the ball's rank in OrderedBalls(), this is exactly §6's "path
+/// deterministically towards the leaf ranked by b_i". Requires nothing of
+/// `rank`; out-of-range ranks are clamped to the available slack (movement
+/// would clip them regardless).
+[[nodiscard]] tree::NodeId ranked_slack_leaf(const tree::LocalTreeView& view,
+                                             tree::NodeId from,
+                                             std::uint64_t rank);
+
+/// One-level halving step: returns the child of `from` assigned to the ball
+/// of rank `rank` among the `mates` balls currently at `from`, splitting
+/// ranks between the children in proportion to their remaining capacities
+/// (never assigning more balls to a child than it can hold). Requires
+/// `from` to be an inner node and rank < mates.
+[[nodiscard]] tree::NodeId halving_child(const tree::LocalTreeView& view,
+                                         tree::NodeId from, std::uint32_t rank,
+                                         std::uint32_t mates);
+
+/// Rank of `ball` among the balls at its current node, by label order.
+/// O(registry size).
+[[nodiscard]] std::uint32_t rank_among_node_mates(
+    const tree::LocalTreeView& view, sim::Label ball);
+
+}  // namespace bil::core

@@ -1,0 +1,21 @@
+// Seed-domain constants shared by the engine harness and the fast simulator.
+//
+// Both execution paths must derive *identical* per-ball random streams from a
+// run seed so that a fault-free fast-simulator run and a fault-free engine
+// run with the same seed produce bit-identical placements (this equivalence
+// is asserted by tests/fast_sim_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace bil::core {
+
+/// derive_seed(run_seed, kSeedDomainProcess, i) seeds ball i's coin flips.
+inline constexpr std::uint64_t kSeedDomainProcess = 1;
+/// derive_seed(run_seed, kSeedDomainAdversary, k) seeds adversary stream k.
+inline constexpr std::uint64_t kSeedDomainAdversary = 2;
+/// derive_seed(run_seed, kSeedDomainHarness, k) seeds harness-level choices
+/// (e.g. which processes an oblivious adversary victimizes).
+inline constexpr std::uint64_t kSeedDomainHarness = 3;
+
+}  // namespace bil::core

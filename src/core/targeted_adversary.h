@@ -1,0 +1,61 @@
+// A protocol-aware strong adaptive adversary for Balls-into-Leaves.
+//
+// The generic adversaries in sim/adversaries.h pick victims by id; this one
+// reads the actual protocol traffic of the round being scheduled — which is
+// precisely what the strong adaptive model permits: the adversary sees every
+// round-r message (and hence every coin flip behind it) before deciding who
+// crashes. Two attack modes:
+//
+//   kContendedWinner — on path rounds, decode all candidate paths, find the
+//     most contended target, and crash the claimant that would win it
+//     (deepest start, then lowest label — the <R favourite), delivering the
+//     fatal broadcast to every second survivor. Half the views then watch
+//     the winner take the slot while the other half give it away, maximizing
+//     view divergence exactly where the contention is.
+//
+//   kDeepestAnnouncer — on position rounds, crash the ball announcing the
+//     deepest position (a freshly reached leaf when possible), again with an
+//     alternating subset. This plants stale "phantom" entries at leaves in
+//     half the views, attacking the silence-removal and (in eager mode)
+//     eviction logic.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/adversaries.h"
+#include "sim/adversary.h"
+#include "tree/shape.h"
+#include "util/rng.h"
+
+namespace bil::core {
+
+class TargetedCollisionAdversary final : public sim::Adversary {
+ public:
+  enum class Mode : std::uint8_t {
+    kContendedWinner,
+    kDeepestAnnouncer,
+  };
+
+  struct Options {
+    Mode mode = Mode::kContendedWinner;
+    /// Victims per firing round.
+    std::uint32_t per_round = 1;
+    sim::SubsetPolicy subset_policy = sim::SubsetPolicy::kAlternating;
+  };
+
+  /// `shape` must be the run's tree shape (for node depths).
+  TargetedCollisionAdversary(std::shared_ptr<const tree::TreeShape> shape,
+                             Options options, std::uint64_t seed);
+
+  void schedule(const sim::RoundView& view, sim::CrashPlan& plan) override;
+
+ private:
+  void schedule_contended(const sim::RoundView& view, sim::CrashPlan& plan);
+  void schedule_deepest(const sim::RoundView& view, sim::CrashPlan& plan);
+
+  std::shared_ptr<const tree::TreeShape> shape_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace bil::core

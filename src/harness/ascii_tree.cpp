@@ -1,0 +1,77 @@
+#include "harness/ascii_tree.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace bil::harness {
+
+namespace {
+
+void render_node(std::ostream& os, const tree::LocalTreeView& view,
+                 tree::NodeId node, const std::string& prefix,
+                 const char* connector, const std::string& child_prefix) {
+  const tree::TreeShape& shape = view.shape();
+  os << prefix << connector;
+  if (shape.is_leaf(node)) {
+    const bool occupied = view.balls_in_subtree(node) > 0;
+    os << (occupied ? "◆" : "◇") << " leaf "
+       << shape.leaf_rank(node);
+    if (occupied) {
+      os << " {";
+      bool first = true;
+      for (sim::Label ball : view.balls()) {
+        if (view.current(ball) == node) {
+          os << (first ? "" : ",") << 'b' << ball;
+          first = false;
+        }
+      }
+      os << '}';
+    }
+    os << '\n';
+    return;
+  }
+  os << "● [" << view.balls_at(node) << "]";
+  if (view.balls_at(node) > 0) {
+    os << " {";
+    bool first = true;
+    for (sim::Label ball : view.balls()) {
+      if (view.current(ball) == node) {
+        os << (first ? "" : ",") << 'b' << ball;
+        first = false;
+      }
+    }
+    os << '}';
+  }
+  os << '\n';
+  render_node(os, view, shape.left(node), child_prefix, "├─",
+              child_prefix + "│ ");
+  render_node(os, view, shape.right(node), child_prefix, "└─",
+              child_prefix + "  ");
+}
+
+}  // namespace
+
+void render_tree(std::ostream& os, const tree::LocalTreeView& view) {
+  render_node(os, view, tree::TreeShape::root(), "", "", "");
+}
+
+void render_depth_histogram(std::ostream& os,
+                            const tree::LocalTreeView& view) {
+  const tree::TreeShape& shape = view.shape();
+  std::vector<std::uint32_t> at_depth(shape.height() + 1, 0);
+  for (sim::Label ball : view.balls()) {
+    at_depth[shape.depth(view.current(ball))] += 1;
+  }
+  const std::uint32_t peak =
+      *std::max_element(at_depth.begin(), at_depth.end());
+  for (std::uint32_t depth = 0; depth < at_depth.size(); ++depth) {
+    const std::uint32_t count = at_depth[depth];
+    const std::uint32_t bar_width =
+        peak == 0 ? 0 : (60 * count + peak - 1) / peak;
+    os << "depth " << depth << (depth == shape.height() ? " (leaves)" : "")
+       << ": " << count << ' ' << std::string(bar_width, '#') << '\n';
+  }
+}
+
+}  // namespace bil::harness

@@ -1,0 +1,31 @@
+// ASCII rendering of a local tree view — regenerates the paper's
+// illustrations (Figures 1, 2 and 4) from live runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/local_view.h"
+
+namespace bil::harness {
+
+/// Renders the tree sideways (root at the left), one node per line:
+///
+///   ● [4]                 <- inner node holding 4 balls
+///   ├─● [0]
+///   │ ├─◻ leaf 0          <- empty leaf
+///   │ └─◼ leaf 1 {b7}     <- occupied leaf
+///   ...
+///
+/// Inner nodes show the number of balls parked at them; leaves show their
+/// rank and occupant labels. Intended for n <= 32 (examples and debugging);
+/// larger trees are better summarized with render_depth_histogram.
+void render_tree(std::ostream& os, const tree::LocalTreeView& view);
+
+/// One line per tree depth: how many balls sit at that depth, plus a bar.
+/// Scales to any n; this is the "shape" view of the descent used by the
+/// examples to visualize how quickly the tree empties downward.
+void render_depth_histogram(std::ostream& os,
+                            const tree::LocalTreeView& view);
+
+}  // namespace bil::harness

@@ -1,0 +1,207 @@
+#include "harness/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "baselines/gossip.h"
+#include "baselines/naive_bins.h"
+#include "core/seeds.h"
+#include "core/targeted_adversary.h"
+#include "tree/shape.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace bil::harness {
+
+const char* to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kBallsIntoLeaves:
+      return "balls-into-leaves";
+    case Algorithm::kEarlyTerminating:
+      return "bil-early-term";
+    case Algorithm::kRankDescent:
+      return "rank-descent";
+    case Algorithm::kHalving:
+      return "halving";
+    case Algorithm::kGossip:
+      return "gossip";
+    case Algorithm::kNaiveBins:
+      return "naive-bins";
+  }
+  return "unknown";
+}
+
+const char* to_string(AdversaryKind kind) noexcept {
+  switch (kind) {
+    case AdversaryKind::kNone:
+      return "none";
+    case AdversaryKind::kOblivious:
+      return "oblivious";
+    case AdversaryKind::kBurst:
+      return "burst";
+    case AdversaryKind::kSandwich:
+      return "sandwich";
+    case AdversaryKind::kEager:
+      return "eager";
+    case AdversaryKind::kTargetedWinner:
+      return "targeted-winner";
+    case AdversaryKind::kTargetedAnnouncer:
+      return "targeted-announcer";
+  }
+  return "unknown";
+}
+
+namespace {
+
+core::PathPolicy policy_for(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBallsIntoLeaves:
+      return core::PathPolicy::kRandomWeighted;
+    case Algorithm::kEarlyTerminating:
+      return core::PathPolicy::kEarlyTerminating;
+    case Algorithm::kRankDescent:
+      return core::PathPolicy::kRankedSlack;
+    case Algorithm::kHalving:
+      return core::PathPolicy::kHalvingSplit;
+    default:
+      BIL_REQUIRE(false, "algorithm has no path policy");
+      return core::PathPolicy::kRandomWeighted;
+  }
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(
+    const RunConfig& config,
+    const std::shared_ptr<const tree::TreeShape>& shape) {
+  const AdversarySpec& spec = config.adversary;
+  const std::uint64_t seed =
+      derive_seed(config.seed, core::kSeedDomainAdversary, 0);
+  switch (spec.kind) {
+    case AdversaryKind::kNone:
+      return nullptr;
+    case AdversaryKind::kOblivious:
+      return std::make_unique<sim::ObliviousCrashAdversary>(
+          config.n,
+          sim::ObliviousCrashAdversary::Options{
+              .crashes = spec.crashes,
+              .horizon_rounds = spec.horizon,
+              .subset_policy = spec.subset},
+          seed);
+    case AdversaryKind::kBurst:
+      return std::make_unique<sim::BurstCrashAdversary>(
+          sim::BurstCrashAdversary::Options{.count = spec.crashes,
+                                            .when = spec.when,
+                                            .subset_policy = spec.subset,
+                                            .lowest_ids = true},
+          seed);
+    case AdversaryKind::kSandwich:
+      // Fire from round 0 (the label exchange) on: the §6 collision pattern
+      // needs the lowest ball to crash *while announcing its label*, so that
+      // half the views count it when computing ranks and half do not.
+      return std::make_unique<sim::SandwichAdversary>(
+          sim::SandwichAdversary::Options{
+              .offset = 0, .period = 1, .per_round = spec.per_round});
+    case AdversaryKind::kEager:
+      return std::make_unique<sim::EagerCrashAdversary>(
+          sim::EagerCrashAdversary::Options{.start_round = spec.when,
+                                            .per_round = spec.per_round,
+                                            .subset_policy = spec.subset},
+          seed);
+    case AdversaryKind::kTargetedWinner:
+    case AdversaryKind::kTargetedAnnouncer: {
+      BIL_REQUIRE(shape != nullptr,
+                  "targeted adversaries require a tree-based algorithm");
+      const auto mode = spec.kind == AdversaryKind::kTargetedWinner
+                            ? core::TargetedCollisionAdversary::Mode::
+                                  kContendedWinner
+                            : core::TargetedCollisionAdversary::Mode::
+                                  kDeepestAnnouncer;
+      return std::make_unique<core::TargetedCollisionAdversary>(
+          shape,
+          core::TargetedCollisionAdversary::Options{
+              .mode = mode,
+              .per_round = spec.per_round,
+              .subset_policy = spec.subset},
+          seed);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RunSummary run_renaming(const RunConfig& config) {
+  BIL_REQUIRE(config.n >= 1, "need at least one process");
+  BIL_REQUIRE(config.label_stride >= 1, "labels must be strictly monotone");
+
+  const bool tree_based = config.algorithm == Algorithm::kBallsIntoLeaves ||
+                          config.algorithm == Algorithm::kEarlyTerminating ||
+                          config.algorithm == Algorithm::kRankDescent ||
+                          config.algorithm == Algorithm::kHalving;
+  std::shared_ptr<const tree::TreeShape> shape;
+  if (tree_based) {
+    shape = tree::TreeShape::make(config.n);
+  }
+
+  core::RecordingObserver observer;
+  std::vector<std::unique_ptr<sim::ProcessBase>> processes;
+  processes.reserve(config.n);
+  for (sim::ProcessId id = 0; id < config.n; ++id) {
+    const sim::Label label =
+        config.label_offset + config.label_stride * id;
+    const std::uint64_t seed =
+        derive_seed(config.seed, core::kSeedDomainProcess, id);
+    switch (config.algorithm) {
+      case Algorithm::kGossip: {
+        const std::uint32_t t =
+            config.gossip_t == static_cast<std::uint32_t>(-1)
+                ? config.n - 1
+                : config.gossip_t;
+        processes.push_back(std::make_unique<baselines::GossipRenamingProcess>(
+            baselines::GossipRenamingProcess::Options{.label = label,
+                                                      .max_crashes = t}));
+        break;
+      }
+      case Algorithm::kNaiveBins:
+        processes.push_back(std::make_unique<baselines::NaiveBinsProcess>(
+            baselines::NaiveBinsProcess::Options{
+                .num_bins = config.n, .label = label, .seed = seed}));
+        break;
+      default:
+        processes.push_back(
+            std::make_unique<core::BallsIntoLeavesProcess>(
+                core::BallsIntoLeavesProcess::Options{
+                    .num_names = config.n,
+                    .label = label,
+                    .seed = seed,
+                    .policy = policy_for(config.algorithm),
+                    .termination = config.termination,
+                    .shape = shape,
+                    .observer = (config.observe && id == config.n - 1)
+                                    ? &observer
+                                    : nullptr}));
+        break;
+    }
+  }
+
+  sim::Engine engine(
+      sim::EngineConfig{.num_processes = config.n,
+                        .max_crashes = config.adversary.crashes,
+                        .max_rounds = config.max_rounds,
+                        .trace = config.trace},
+      std::move(processes), make_adversary(config, shape));
+  sim::RunResult result = engine.run();
+  sim::validate_renaming(result, config.n);
+
+  RunSummary summary;
+  summary.completed = result.completed;
+  summary.rounds = result.last_decide_round() + 1;
+  summary.total_rounds = result.rounds;
+  summary.crashes = engine.crash_count();
+  summary.messages_delivered = result.metrics.total_deliveries;
+  summary.bytes_delivered = result.metrics.total_bytes_delivered;
+  summary.phases = observer.snapshots();
+  summary.raw = std::move(result);
+  return summary;
+}
+
+}  // namespace bil::harness

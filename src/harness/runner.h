@@ -1,0 +1,109 @@
+// One-call experiment runner: algorithm × n × adversary × seed → summary.
+//
+// Every run executed through this harness is validated against the three
+// renaming properties (termination, validity, uniqueness) before its summary
+// is returned — benches and examples cannot accidentally report numbers from
+// an incorrect run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/balls_into_leaves.h"
+#include "core/observer.h"
+#include "sim/adversaries.h"
+#include "sim/engine.h"
+
+namespace bil::harness {
+
+/// The renaming algorithms available to experiments.
+enum class Algorithm : std::uint8_t {
+  /// Balls-into-Leaves, Algorithm 1 (randomized, O(log log n) w.h.p.).
+  kBallsIntoLeaves,
+  /// §6 early-terminating extension (deterministic phase 1, then random).
+  kEarlyTerminating,
+  /// Deterministic rank-indexed descent in every phase (§6's deterministic
+  /// scheme; comparison-based).
+  kRankDescent,
+  /// Deterministic one-level-per-phase halving (Θ(log n) always; the
+  /// complexity class of the Chaudhuri–Herlihy–Tuttle baseline).
+  kHalving,
+  /// Flooding agreement on the id set; t+1 rounds (linear baseline).
+  kGossip,
+  /// Tree-free random claims with retry (naive balls-into-bins baseline).
+  kNaiveBins,
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm) noexcept;
+
+/// Which crash strategy attacks the run.
+enum class AdversaryKind : std::uint8_t {
+  kNone,
+  kOblivious,
+  kBurst,
+  kSandwich,
+  kEager,
+  /// core::TargetedCollisionAdversary, kContendedWinner mode.
+  kTargetedWinner,
+  /// core::TargetedCollisionAdversary, kDeepestAnnouncer mode.
+  kTargetedAnnouncer,
+};
+
+[[nodiscard]] const char* to_string(AdversaryKind kind) noexcept;
+
+struct AdversarySpec {
+  AdversaryKind kind = AdversaryKind::kNone;
+  /// Crash budget t (and the planned crash count for oblivious/burst).
+  std::uint32_t crashes = 0;
+  /// Burst round.
+  sim::RoundNumber when = 1;
+  /// Oblivious crash-round horizon.
+  sim::RoundNumber horizon = 8;
+  /// Victims per firing round (sandwich/eager/targeted).
+  std::uint32_t per_round = 1;
+  sim::SubsetPolicy subset = sim::SubsetPolicy::kRandomHalf;
+};
+
+struct RunConfig {
+  Algorithm algorithm = Algorithm::kBallsIntoLeaves;
+  std::uint32_t n = 0;
+  std::uint64_t seed = 0;
+  AdversarySpec adversary;
+  core::TerminationMode termination = core::TerminationMode::kGlobal;
+  /// Attach a recording observer to the highest-id process (adversaries
+  /// here prefer low ids, so it usually survives to the end).
+  bool observe = false;
+  /// 0 = engine default (16n + 64).
+  sim::RoundNumber max_rounds = 0;
+  /// Gossip's resilience parameter t; default (=n) means wait-free (n-1).
+  std::uint32_t gossip_t = static_cast<std::uint32_t>(-1);
+  /// Labels are label_offset + label_stride * id: monotone in the process
+  /// id, as the paper's label-order arguments assume.
+  sim::Label label_offset = 0;
+  sim::Label label_stride = 1;
+  /// Optional engine event trace; not owned, must outlive the run.
+  sim::TraceSink* trace = nullptr;
+};
+
+struct RunSummary {
+  bool completed = false;
+  /// Rounds until the last correct process decided (the paper's metric).
+  std::uint32_t rounds = 0;
+  /// Rounds until the protocol fully wound down (stale-entry purging can
+  /// add a phase after the last decision).
+  std::uint32_t total_rounds = 0;
+  std::uint32_t crashes = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  /// Phase-boundary snapshots from the observer (empty unless observe).
+  std::vector<core::PhaseSnapshot> phases;
+  /// Full engine result (names, per-round traffic, ...).
+  sim::RunResult raw;
+};
+
+/// Runs one configuration to completion and validates the renaming
+/// properties; throws ContractViolation if the run violates them or fails
+/// to complete within the round cap.
+[[nodiscard]] RunSummary run_renaming(const RunConfig& config);
+
+}  // namespace bil::harness

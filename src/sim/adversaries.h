@@ -1,0 +1,144 @@
+// Concrete crash-scheduling strategies.
+//
+// Every bound in the paper is "against a strong adaptive adversary", so the
+// benchmark harness must attack the algorithms with executable adversaries.
+// Each strategy below documents which proof scenario it probes. The
+// BiL-aware TargetedCollisionAdversary (which decodes candidate-path
+// messages off the wire) lives in src/core/targeted_adversary.h because it
+// needs the protocol's message codecs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "util/rng.h"
+
+namespace bil::sim {
+
+/// Failure-free executions (paper §5.1–5.2 analyze these first).
+class NoFailureAdversary final : public Adversary {
+ public:
+  void schedule(const RoundView& view, CrashPlan& plan) override;
+};
+
+/// How a crashing process's final-round messages are delivered.
+enum class SubsetPolicy : std::uint8_t {
+  /// Nobody receives them (crash before sending).
+  kSilent,
+  /// Every second alive process (in id order) receives them — the paper §6
+  /// pattern that makes "all other balls collide in pairs".
+  kAlternating,
+  /// Each alive process receives them independently with probability 1/2.
+  kRandomHalf,
+  /// Everyone receives them (crash just after a complete broadcast; the
+  /// victim falls silent only from the next round on).
+  kAll,
+};
+
+/// Oblivious adversary: commits all its choices (victims, crash rounds,
+/// delivery subsets) up front from a seed, before the execution starts, and
+/// never looks at the run. This is the weak adversary model; the paper's
+/// bounds hold against the stronger adaptive one, so BiL must beat this too.
+class ObliviousCrashAdversary final : public Adversary {
+ public:
+  struct Options {
+    /// Number of processes to crash (clamped to the engine budget at run
+    /// time).
+    std::uint32_t crashes = 0;
+    /// Crash rounds are drawn uniformly from [0, horizon_rounds).
+    RoundNumber horizon_rounds = 8;
+    SubsetPolicy subset_policy = SubsetPolicy::kRandomHalf;
+  };
+
+  ObliviousCrashAdversary(std::uint32_t num_processes, Options options,
+                          std::uint64_t seed);
+
+  void schedule(const RoundView& view, CrashPlan& plan) override;
+
+ private:
+  struct PlannedCrash {
+    ProcessId victim;
+    RoundNumber round;
+  };
+  std::vector<PlannedCrash> planned_;
+  SubsetPolicy subset_policy_;
+  Rng rng_;
+};
+
+/// Crashes `count` processes simultaneously in one round. Probes the
+/// early-termination analysis (Theorem 4): f crashes in the very first
+/// phase force the deterministic phase-1 collapse to leave collisions, which
+/// the randomized phases must then clear in O(log log f) rounds.
+class BurstCrashAdversary final : public Adversary {
+ public:
+  struct Options {
+    std::uint32_t count = 0;
+    RoundNumber when = 1;
+    SubsetPolicy subset_policy = SubsetPolicy::kAlternating;
+    /// When true, victims are the lowest alive ids; otherwise random.
+    bool lowest_ids = true;
+  };
+
+  BurstCrashAdversary(Options options, std::uint64_t seed);
+
+  void schedule(const RoundView& view, CrashPlan& plan) override;
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+/// The paper §6 worst case, applied adaptively every firing round while
+/// budget lasts: crash the lowest-id alive process mid-broadcast, delivering
+/// to every second alive process so that surviving views disagree about the
+/// victim and ranks shift by one in half the views. Against rank-indexed
+/// deterministic algorithms this is the "sandwich" order-equivalence attack
+/// behind the Ω(log n) lower bound of Chaudhuri–Herlihy–Tuttle.
+class SandwichAdversary final : public Adversary {
+ public:
+  struct Options {
+    /// Fire on rounds r with r >= offset and (r - offset) % period == 0.
+    /// Algorithms in this repository run an init round (round 0) followed by
+    /// two-round phases, so offset 1, period 2 hits every path-exchange
+    /// round.
+    RoundNumber offset = 1;
+    RoundNumber period = 2;
+    /// Victims per firing round.
+    std::uint32_t per_round = 1;
+  };
+
+  explicit SandwichAdversary(Options options) : options_(options) {}
+
+  void schedule(const RoundView& view, CrashPlan& plan) override;
+
+ private:
+  Options options_;
+};
+
+/// Spends the whole crash budget as early as possible: from `start_round`,
+/// crashes up to `per_round` victims per round with random-half delivery.
+/// Probes §5.3's claim that crashes cannot slow BiL down.
+class EagerCrashAdversary final : public Adversary {
+ public:
+  struct Options {
+    RoundNumber start_round = 1;
+    std::uint32_t per_round = 1;
+    SubsetPolicy subset_policy = SubsetPolicy::kRandomHalf;
+  };
+
+  EagerCrashAdversary(Options options, std::uint64_t seed);
+
+  void schedule(const RoundView& view, CrashPlan& plan) override;
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+/// Builds the delivery subset for `victim` under `policy`. Exposed for reuse
+/// by protocol-aware adversaries (e.g. core/targeted_adversary).
+[[nodiscard]] std::vector<ProcessId> make_delivery_subset(
+    const RoundView& view, ProcessId victim, SubsetPolicy policy, Rng& rng);
+
+}  // namespace bil::sim

@@ -1,0 +1,126 @@
+// The strong adaptive adversary interface (paper §3 and §5.3).
+//
+// The adversary controls which processes crash and, for a process that
+// crashes while broadcasting, which subset of recipients still receives its
+// final messages ("A ball may crash while broadcasting its candidate path;
+// some balls may receive this broadcast, while others do not", paper §4).
+//
+// Adaptivity: `schedule` runs after all alive processes have produced their
+// round-r messages, so the adversary observes every message — and therefore
+// every coin flip that influenced them — before committing its crashes. It
+// never sees future coins, matching the strong adaptive model the paper
+// proves its bounds against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/types.h"
+#include "util/contract.h"
+
+namespace bil::sim {
+
+/// Read-only snapshot of the system state the adversary may inspect when
+/// scheduling round-r crashes.
+class RoundView {
+ public:
+  RoundView(RoundNumber round, std::uint32_t num_processes,
+            std::span<const ProcessId> alive,
+            std::span<const std::unique_ptr<ProcessBase>> processes,
+            std::span<const Outbox> outboxes,
+            std::uint32_t crash_budget_remaining) noexcept
+      : round_(round),
+        num_processes_(num_processes),
+        alive_(alive),
+        processes_(processes),
+        outboxes_(outboxes),
+        crash_budget_remaining_(crash_budget_remaining) {}
+
+  [[nodiscard]] RoundNumber round() const noexcept { return round_; }
+  [[nodiscard]] std::uint32_t num_processes() const noexcept {
+    return num_processes_;
+  }
+
+  /// Alive, non-halted process ids in increasing order.
+  [[nodiscard]] std::span<const ProcessId> alive() const noexcept {
+    return alive_;
+  }
+
+  [[nodiscard]] bool is_alive(ProcessId id) const noexcept;
+
+  /// Full introspection into a process's state — the strong adversary sees
+  /// everything, including internal state and past coin flips.
+  [[nodiscard]] const ProcessBase& process(ProcessId id) const {
+    BIL_REQUIRE(id < processes_.size(), "process id out of range");
+    return *processes_[id];
+  }
+
+  /// The messages `id` wants to send this round (empty for dead processes).
+  [[nodiscard]] std::span<const OutboundMessage> outgoing(ProcessId id) const {
+    BIL_REQUIRE(id < outboxes_.size(), "process id out of range");
+    return outboxes_[id].messages();
+  }
+
+  /// How many more processes the adversary may crash (t minus crashes so
+  /// far).
+  [[nodiscard]] std::uint32_t crash_budget_remaining() const noexcept {
+    return crash_budget_remaining_;
+  }
+
+ private:
+  RoundNumber round_;
+  std::uint32_t num_processes_;
+  std::span<const ProcessId> alive_;
+  std::span<const std::unique_ptr<ProcessBase>> processes_;
+  std::span<const Outbox> outboxes_;
+  std::uint32_t crash_budget_remaining_;
+};
+
+/// The crashes the adversary commits for one round.
+class CrashPlan {
+ public:
+  struct Crash {
+    ProcessId victim = kNoProcess;
+    /// Recipients that still receive the victim's round-r messages. Order
+    /// and duplicates are irrelevant; the engine treats this as a set.
+    std::vector<ProcessId> deliver_to;
+  };
+
+  /// Crashes `victim` this round; its round-r messages reach exactly
+  /// `deliver_to`.
+  void crash(ProcessId victim, std::vector<ProcessId> deliver_to) {
+    crashes_.push_back(Crash{victim, std::move(deliver_to)});
+  }
+
+  /// Crashes `victim` before it manages to send anything.
+  void crash_silent(ProcessId victim) { crash(victim, {}); }
+
+  [[nodiscard]] std::span<const Crash> crashes() const noexcept {
+    return crashes_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return crashes_.empty(); }
+
+ private:
+  std::vector<Crash> crashes_;
+};
+
+/// Strategy interface. Implementations must be deterministic in
+/// (construction arguments, observed views); randomized strategies carry a
+/// seeded generator.
+class Adversary {
+ public:
+  Adversary() = default;
+  Adversary(const Adversary&) = delete;
+  Adversary& operator=(const Adversary&) = delete;
+  virtual ~Adversary() = default;
+
+  /// Schedules this round's crashes. The engine validates the plan: victims
+  /// must be alive and distinct, and the total number of crashes across the
+  /// run must stay within the configured budget t.
+  virtual void schedule(const RoundView& view, CrashPlan& plan) = 0;
+};
+
+}  // namespace bil::sim

@@ -1,0 +1,244 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "util/contract.h"
+
+namespace bil::sim {
+
+RoundNumber RunResult::last_decide_round() const {
+  BIL_REQUIRE(completed, "run did not complete");
+  RoundNumber latest = 0;
+  bool any = false;
+  for (const ProcessOutcome& outcome : outcomes) {
+    if (!outcome.crashed && outcome.decided) {
+      latest = std::max(latest, outcome.decide_round);
+      any = true;
+    }
+  }
+  BIL_REQUIRE(any, "no correct process decided");
+  return latest;
+}
+
+Engine::Engine(EngineConfig config,
+               std::vector<std::unique_ptr<ProcessBase>> processes,
+               std::unique_ptr<Adversary> adversary)
+    : config_(config),
+      processes_(std::move(processes)),
+      adversary_(std::move(adversary)) {
+  BIL_REQUIRE(config_.num_processes >= 1, "need at least one process");
+  BIL_REQUIRE(processes_.size() == config_.num_processes,
+              "process vector size must equal num_processes");
+  BIL_REQUIRE(config_.max_crashes < config_.num_processes,
+              "crash budget t must satisfy t < n");
+  for (const auto& process : processes_) {
+    BIL_REQUIRE(process != nullptr, "null process");
+  }
+  if (config_.max_rounds == 0) {
+    config_.max_rounds = 16 * config_.num_processes + 64;
+  }
+  status_.assign(config_.num_processes, Status::kAlive);
+  outcomes_.assign(config_.num_processes, ProcessOutcome{});
+  final_delivery_.resize(config_.num_processes);
+  outboxes_.resize(config_.num_processes);
+}
+
+const ProcessBase& Engine::process(ProcessId id) const {
+  BIL_REQUIRE(id < processes_.size(), "process id out of range");
+  return *processes_[id];
+}
+
+ProcessBase& Engine::mutable_process(ProcessId id) {
+  BIL_REQUIRE(id < processes_.size(), "process id out of range");
+  return *processes_[id];
+}
+
+bool Engine::is_crashed(ProcessId id) const {
+  BIL_REQUIRE(id < status_.size(), "process id out of range");
+  return status_[id] == Status::kCrashed;
+}
+
+bool Engine::protocol_running() const {
+  return std::any_of(status_.begin(), status_.end(),
+                     [](Status s) { return s == Status::kAlive; });
+}
+
+void Engine::note_progress(ProcessId id, RoundNumber round) {
+  ProcessOutcome& outcome = outcomes_[id];
+  if (!outcome.decided && processes_[id]->has_decided()) {
+    outcome.decided = true;
+    outcome.name = processes_[id]->decision();
+    outcome.decide_round = round;
+    if (config_.trace != nullptr) {
+      config_.trace->on_decide(round, id, outcome.name);
+    }
+  }
+  if (status_[id] == Status::kAlive && processes_[id]->halted()) {
+    status_[id] = Status::kHalted;
+    outcome.halted = true;
+    outcome.halt_round = round;
+    if (config_.trace != nullptr) {
+      config_.trace->on_halt(round, id);
+    }
+  }
+}
+
+void Engine::validate_and_apply(const CrashPlan& plan, RoundNumber round) {
+  std::unordered_set<ProcessId> seen;
+  for (const CrashPlan::Crash& crash : plan.crashes()) {
+    BIL_REQUIRE(crash.victim < config_.num_processes,
+                "crash victim id out of range");
+    BIL_REQUIRE(status_[crash.victim] == Status::kAlive,
+                "adversary crashed a process that is not alive");
+    BIL_REQUIRE(seen.insert(crash.victim).second,
+                "adversary crashed the same process twice in one round");
+    BIL_REQUIRE(crashes_so_far_ < config_.max_crashes,
+                "adversary exceeded its crash budget t");
+    ++crashes_so_far_;
+
+    status_[crash.victim] = Status::kCrashed;
+    outcomes_[crash.victim].crashed = true;
+    outcomes_[crash.victim].crash_round = round;
+    if (config_.trace != nullptr) {
+      config_.trace->on_crash(round, crash.victim, crash.deliver_to.size());
+    }
+
+    std::vector<bool>& mask = final_delivery_[crash.victim];
+    mask.assign(config_.num_processes, false);
+    for (ProcessId recipient : crash.deliver_to) {
+      BIL_REQUIRE(recipient < config_.num_processes,
+                  "crash delivery recipient out of range");
+      mask[recipient] = true;
+    }
+  }
+}
+
+void Engine::deliver_round(RoundNumber round) {
+  for (ProcessId receiver = 0; receiver < config_.num_processes; ++receiver) {
+    if (status_[receiver] != Status::kAlive) {
+      continue;
+    }
+    inbox_scratch_.clear();
+    for (ProcessId sender = 0; sender < config_.num_processes; ++sender) {
+      const Outbox& outbox = outboxes_[sender];
+      if (outbox.empty()) {
+        continue;
+      }
+      const bool sender_alive = status_[sender] == Status::kAlive ||
+                                status_[sender] == Status::kHalted;
+      // A sender with a non-empty outbox is either still alive (messages
+      // fully delivered) or crashed *this* round (messages reach exactly the
+      // adversary-chosen subset). Processes crashed in earlier rounds never
+      // reached on_send, so their outboxes are empty.
+      const bool delivered =
+          sender_alive ||
+          (outcomes_[sender].crash_round == round &&
+           final_delivery_[sender][receiver]);
+      if (!delivered) {
+        continue;
+      }
+      for (const OutboundMessage& message : outbox.messages()) {
+        if (message.broadcast || message.to == receiver) {
+          inbox_scratch_.push_back(Envelope{sender, message.payload});
+          metrics_.record_delivery(message.payload->size());
+        }
+      }
+    }
+    processes_[receiver]->on_receive(round, inbox_scratch_);
+    note_progress(receiver, round);
+  }
+}
+
+bool Engine::step() {
+  BIL_REQUIRE(protocol_running(), "step() called on a finished run");
+  const RoundNumber round = next_round_++;
+  metrics_.begin_round();
+  if (config_.trace != nullptr) {
+    config_.trace->on_round_begin(round);
+  }
+
+  // Send phase: clear every outbox (halted/crashed processes keep theirs
+  // empty) and collect this round's messages from alive processes.
+  for (Outbox& outbox : outboxes_) {
+    outbox.clear();
+  }
+  for (ProcessId id = 0; id < config_.num_processes; ++id) {
+    if (status_[id] != Status::kAlive) {
+      continue;
+    }
+    processes_[id]->on_send(round, outboxes_[id]);
+    metrics_.record_send(outboxes_[id].messages().size());
+    if (config_.trace != nullptr && !outboxes_[id].empty()) {
+      config_.trace->on_send(round, id, outboxes_[id].messages().size());
+    }
+    note_progress(id, round);
+  }
+
+  // Adversary phase: the adversary observes all pending messages (hence all
+  // coin flips that shaped them) before committing crashes — the strong
+  // adaptive model.
+  if (adversary_ != nullptr) {
+    alive_scratch_.clear();
+    for (ProcessId id = 0; id < config_.num_processes; ++id) {
+      if (status_[id] == Status::kAlive) {
+        alive_scratch_.push_back(id);
+      }
+    }
+    const RoundView view(round, config_.num_processes, alive_scratch_,
+                         processes_, outboxes_,
+                         config_.max_crashes - crashes_so_far_);
+    CrashPlan plan;
+    adversary_->schedule(view, plan);
+    validate_and_apply(plan, round);
+  }
+
+  deliver_round(round);
+  return protocol_running();
+}
+
+RunResult Engine::run() {
+  while (protocol_running() && next_round_ < config_.max_rounds) {
+    step();
+  }
+  return result();
+}
+
+RunResult Engine::result() const {
+  RunResult result;
+  result.completed = !protocol_running();
+  result.rounds = next_round_;
+  result.outcomes = outcomes_;
+  result.metrics = metrics_;
+  return result;
+}
+
+void validate_renaming(const RunResult& result, std::uint64_t namespace_size) {
+  BIL_REQUIRE(result.completed,
+              "run hit the round cap without completing; rounds=" +
+                  std::to_string(result.rounds));
+  std::unordered_set<std::uint64_t> names;
+  for (std::size_t id = 0; id < result.outcomes.size(); ++id) {
+    const ProcessOutcome& outcome = result.outcomes[id];
+    if (outcome.crashed) {
+      continue;  // crashed processes owe nothing
+    }
+    BIL_REQUIRE(outcome.decided, "termination violated: correct process " +
+                                     std::to_string(id) + " did not decide");
+    BIL_REQUIRE(outcome.name >= 1 && outcome.name <= namespace_size,
+                "validity violated: process " + std::to_string(id) +
+                    " decided name " + std::to_string(outcome.name) +
+                    " outside 1.." + std::to_string(namespace_size));
+    BIL_REQUIRE(names.insert(outcome.name).second,
+                "uniqueness violated: name " + std::to_string(outcome.name) +
+                    " decided twice (second: process " + std::to_string(id) +
+                    ")");
+  }
+}
+
+bool RoundView::is_alive(ProcessId id) const noexcept {
+  return std::binary_search(alive_.begin(), alive_.end(), id);
+}
+
+}  // namespace bil::sim

@@ -1,0 +1,136 @@
+// The lock-step synchronous execution engine (paper §3).
+//
+// Per round the engine: (1) collects each alive process's messages, (2) asks
+// the adversary which processes crash this round and which recipients still
+// receive each victim's final messages, (3) delivers the surviving messages,
+// and (4) hands every alive process its inbox. A process that crashes stops
+// forever; a process that halts (decided and left the protocol) likewise
+// sends and receives nothing afterwards — other processes observe only
+// silence in both cases, exactly as in the paper's model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/metrics.h"
+#include "sim/process.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace bil::sim {
+
+/// Static run parameters.
+struct EngineConfig {
+  /// n — number of processes; must match the process vector's size.
+  std::uint32_t num_processes = 0;
+  /// t — adversary's crash budget; must be < num_processes (the paper's
+  /// t < n assumption: at least one process survives).
+  std::uint32_t max_crashes = 0;
+  /// Safety cap on rounds; 0 selects 16·n + 64, far above the deterministic
+  /// O(n)-round termination bound (paper Lemma 11), so hitting the cap
+  /// means a bug, not bad luck.
+  RoundNumber max_rounds = 0;
+  /// Optional execution trace; not owned, may be null. Must outlive the
+  /// engine.
+  TraceSink* trace = nullptr;
+};
+
+/// Per-process outcome of a run.
+struct ProcessOutcome {
+  bool decided = false;
+  std::uint64_t name = 0;
+  RoundNumber decide_round = 0;
+
+  bool crashed = false;
+  RoundNumber crash_round = 0;
+
+  bool halted = false;
+  RoundNumber halt_round = 0;
+};
+
+/// Result of Engine::run.
+struct RunResult {
+  /// True when every non-crashed process halted before the round cap.
+  bool completed = false;
+  /// Number of rounds executed (rounds are numbered 0..rounds-1).
+  RoundNumber rounds = 0;
+  std::vector<ProcessOutcome> outcomes;
+  Metrics metrics;
+
+  /// Round in which the last correct process decided (the run's latency).
+  /// Requires completed and at least one correct process.
+  [[nodiscard]] RoundNumber last_decide_round() const;
+};
+
+/// Executes one synchronous run. Single-shot: construct, run, inspect.
+class Engine {
+ public:
+  /// Takes ownership of the processes (one per id, in id order) and of the
+  /// adversary. `adversary` may be null, meaning no failures.
+  Engine(EngineConfig config,
+         std::vector<std::unique_ptr<ProcessBase>> processes,
+         std::unique_ptr<Adversary> adversary);
+
+  /// Executes one round. Returns true while at least one process is still
+  /// alive and not halted (i.e., the protocol is still running).
+  bool step();
+
+  /// Runs rounds until the protocol finishes or the round cap is hit.
+  RunResult run();
+
+  [[nodiscard]] RoundNumber rounds_executed() const noexcept {
+    return next_round_;
+  }
+  [[nodiscard]] std::uint32_t num_processes() const noexcept {
+    return config_.num_processes;
+  }
+  [[nodiscard]] const ProcessBase& process(ProcessId id) const;
+  /// Mutable access, e.g. to attach instrumentation before running.
+  [[nodiscard]] ProcessBase& mutable_process(ProcessId id);
+
+  [[nodiscard]] bool is_crashed(ProcessId id) const;
+  [[nodiscard]] std::uint32_t crash_count() const noexcept {
+    return crashes_so_far_;
+  }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Snapshot of the outcome state (valid at any point, incl. mid-run).
+  [[nodiscard]] RunResult result() const;
+
+ private:
+  enum class Status : std::uint8_t { kAlive, kHalted, kCrashed };
+
+  void validate_and_apply(const CrashPlan& plan, RoundNumber round);
+  void deliver_round(RoundNumber round);
+  void note_progress(ProcessId id, RoundNumber round);
+  [[nodiscard]] bool protocol_running() const;
+
+  EngineConfig config_;
+  std::vector<std::unique_ptr<ProcessBase>> processes_;
+  std::unique_ptr<Adversary> adversary_;
+
+  std::vector<Status> status_;
+  std::vector<ProcessOutcome> outcomes_;
+  /// Recipients (as a bitmap) of each process's final-round messages; only
+  /// meaningful for processes crashed in the current round.
+  std::vector<std::vector<bool>> final_delivery_;
+  std::vector<Outbox> outboxes_;
+  std::vector<ProcessId> alive_scratch_;
+  std::vector<Envelope> inbox_scratch_;
+
+  Metrics metrics_;
+  RoundNumber next_round_ = 0;
+  std::uint32_t crashes_so_far_ = 0;
+};
+
+/// Checks the three renaming properties (paper §3) over a finished run:
+/// every correct process decided (termination), names lie in [1, n]
+/// (validity; `namespace_size` = n for tight renaming), and no two correct
+/// processes share a name (uniqueness). Throws ContractViolation with a
+/// diagnostic message on the first violated property.
+void validate_renaming(const RunResult& result, std::uint64_t namespace_size);
+
+}  // namespace bil::sim

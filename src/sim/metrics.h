@@ -1,0 +1,50 @@
+// Run metrics collected by the engine: round, message, and byte counts.
+// These feed the message/bit-complexity experiment (E7 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace bil::sim {
+
+/// Per-round traffic counters.
+struct RoundTraffic {
+  /// Logical sends (a broadcast counts once).
+  std::uint64_t sends = 0;
+  /// Physical deliveries (a broadcast to k alive recipients counts k).
+  std::uint64_t deliveries = 0;
+  /// Sum of payload sizes over physical deliveries.
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// Aggregated traffic and progress counters for one run.
+struct Metrics {
+  std::vector<RoundTraffic> per_round;
+
+  std::uint64_t total_sends = 0;
+  std::uint64_t total_deliveries = 0;
+  std::uint64_t total_bytes_delivered = 0;
+  /// Largest single payload observed, in bytes.
+  std::uint64_t max_payload_bytes = 0;
+
+  void record_send(std::uint64_t count) {
+    per_round.back().sends += count;
+    total_sends += count;
+  }
+
+  void record_delivery(std::uint64_t payload_bytes) {
+    per_round.back().deliveries += 1;
+    per_round.back().bytes_delivered += payload_bytes;
+    total_deliveries += 1;
+    total_bytes_delivered += payload_bytes;
+    if (payload_bytes > max_payload_bytes) {
+      max_payload_bytes = payload_bytes;
+    }
+  }
+
+  void begin_round() { per_round.emplace_back(); }
+};
+
+}  // namespace bil::sim

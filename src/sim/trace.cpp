@@ -1,0 +1,13 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace bil::sim {
+
+void TextTrace::dump(std::ostream& os) const {
+  for (const std::string& line : lines_) {
+    os << line << '\n';
+  }
+}
+
+}  // namespace bil::sim

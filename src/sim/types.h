@@ -1,0 +1,82 @@
+// Core identifier types and message containers for the synchronous
+// message-passing simulator (paper §3: n processes, fully connected network,
+// lock-step rounds, up to t < n crash failures).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace bil::sim {
+
+/// Dense process index in [0, n). This is the simulator's transport address,
+/// not the renaming input: algorithms receive a separate Label drawn from an
+/// unbounded namespace (paper §3, "each process has a unique id, originally
+/// known only to itself").
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process" (used by broadcast outbox entries).
+inline constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+/// Original identifier from the unbounded namespace.
+using Label = std::uint64_t;
+
+/// Lock-step round counter. Round 0 is the first communication round.
+using RoundNumber = std::uint32_t;
+
+/// A message as seen by its recipient.
+struct Envelope {
+  ProcessId from = kNoProcess;
+  /// Shared, immutable payload: a broadcast to n recipients shares one
+  /// buffer rather than copying it n times.
+  std::shared_ptr<const wire::Buffer> payload;
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return *payload;
+  }
+};
+
+/// One logical send emitted by a process during a round.
+struct OutboundMessage {
+  bool broadcast = false;
+  /// Meaningful only when !broadcast.
+  ProcessId to = kNoProcess;
+  std::shared_ptr<const wire::Buffer> payload;
+};
+
+/// Collects the messages a process emits in one round. The engine clears and
+/// hands a fresh outbox to each alive process at the start of every round.
+class Outbox {
+ public:
+  /// Sends `payload` to every process, including the sender itself (the
+  /// paper's balls count themselves in their own local views, so loopback
+  /// delivery keeps the algorithms symmetric).
+  void broadcast(wire::Buffer payload) {
+    messages_.push_back(OutboundMessage{
+        .broadcast = true,
+        .to = kNoProcess,
+        .payload = std::make_shared<const wire::Buffer>(std::move(payload))});
+  }
+
+  /// Unicast to a single process.
+  void send(ProcessId to, wire::Buffer payload) {
+    messages_.push_back(OutboundMessage{
+        .broadcast = false,
+        .to = to,
+        .payload = std::make_shared<const wire::Buffer>(std::move(payload))});
+  }
+
+  [[nodiscard]] std::span<const OutboundMessage> messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return messages_.empty(); }
+  void clear() noexcept { messages_.clear(); }
+
+ private:
+  std::vector<OutboundMessage> messages_;
+};
+
+}  // namespace bil::sim

@@ -1,0 +1,52 @@
+// The probability facts of the paper's Figure 3, as executable checks.
+//
+// The analysis experiments (E4/E5) compare measured contention against the
+// bounds the paper derives from these facts, so the bounds themselves live
+// here, next to the summaries they are compared with.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/contract.h"
+
+namespace bil::stats {
+
+/// E[B(m, p)] = m·p.
+[[nodiscard]] inline double binomial_mean(double m, double p) {
+  return m * p;
+}
+
+/// Var[B(m, p)] = m·p·(1-p).
+[[nodiscard]] inline double binomial_variance(double m, double p) {
+  return m * p * (1.0 - p);
+}
+
+/// Fact 3 (Chernoff): Pr(|E[X] − X| > x) < exp(−x² / (2·m·p·(1−p))) for
+/// X ~ B(m, p). Returns that bound (clamped to 1).
+[[nodiscard]] inline double chernoff_deviation_bound(double m, double p,
+                                                     double x) {
+  BIL_REQUIRE(m > 0.0 && p > 0.0 && p < 1.0 && x > 0.0,
+              "degenerate Chernoff parameters");
+  const double exponent = -(x * x) / (2.0 * m * p * (1.0 - p));
+  return std::min(1.0, std::exp(exponent));
+}
+
+/// Lemma 4's bound on the depth-i contention after the first phase:
+/// with probability > 1 − n^−c, balls(η, 2) <= c·sqrt((n / 2^i)·log n).
+/// Returns that threshold for the given constant c.
+[[nodiscard]] inline double lemma4_contention_bound(double n, double depth,
+                                                    double c) {
+  BIL_REQUIRE(n >= 2.0, "n too small for the bound");
+  return c * std::sqrt(n / std::exp2(depth) * std::log2(n));
+}
+
+/// Lemma 6's fixpoint: after O(log log n) phases the per-node contention is
+/// O(log² n) w.h.p. Returns c²·log₂²(n) for the given constant c.
+[[nodiscard]] inline double lemma6_contention_bound(double n, double c) {
+  BIL_REQUIRE(n >= 2.0, "n too small for the bound");
+  const double log_n = std::log2(n);
+  return c * c * log_n * log_n;
+}
+
+}  // namespace bil::stats

@@ -1,0 +1,83 @@
+// Least-squares model fitting for complexity-shape experiments.
+//
+// The headline claim (Theorem 2) is a *shape*: rounds grow like log log n,
+// not log n. Absolute constants are implementation artifacts, so the
+// experiments fit both models
+//     rounds ≈ a·log₂(n) + b      and      rounds ≈ a·log₂(log₂ n) + b
+// to the measured means and report which explains the data (R²). For
+// Balls-into-Leaves the log log model should win decisively and the log
+// model's slope should be near zero; for the deterministic baselines the
+// log model should win with slope ≈ 1 level per phase-pair.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace bil::stats {
+
+/// y ≈ slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 = perfect fit). Defined as 1
+  /// when the y values are constant and the fit is exact.
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares over (x[i], y[i]); requires >= 2 points.
+[[nodiscard]] inline LinearFit fit_linear(std::span<const double> x,
+                                          std::span<const double> y) {
+  BIL_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  BIL_REQUIRE(x.size() >= 2, "need at least two points to fit a line");
+  const auto n = static_cast<double>(x.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mean_x) * (x[i] - mean_x);
+    sxy += (x[i] - mean_x) * (y[i] - mean_y);
+    syy += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  BIL_REQUIRE(sxx > 0.0, "x values must not be constant");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double predicted = fit.slope * x[i] + fit.intercept;
+      ss_res += (y[i] - predicted) * (y[i] - predicted);
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+/// Transforms n values through f and fits rounds against the result.
+template <typename Transform>
+[[nodiscard]] LinearFit fit_against(std::span<const double> n_values,
+                                    std::span<const double> rounds,
+                                    Transform transform) {
+  std::vector<double> x;
+  x.reserve(n_values.size());
+  for (double n : n_values) {
+    x.push_back(transform(n));
+  }
+  return fit_linear(x, rounds);
+}
+
+}  // namespace bil::stats

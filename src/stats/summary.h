@@ -1,0 +1,98 @@
+// Sample summaries for experiment aggregation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace bil::stats {
+
+/// Streaming mean/variance/min/max (Welford's algorithm): numerically stable
+/// and O(1) per sample.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const {
+    BIL_REQUIRE(count_ > 0, "mean of an empty sample");
+    return mean_;
+  }
+  [[nodiscard]] double variance() const {
+    BIL_REQUIRE(count_ > 0, "variance of an empty sample");
+    return count_ == 1 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    BIL_REQUIRE(count_ > 0, "min of an empty sample");
+    return min_;
+  }
+  [[nodiscard]] double max() const {
+    BIL_REQUIRE(count_ > 0, "max of an empty sample");
+    return max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary with quantiles.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Quantile by linear interpolation on the sorted sample; q in [0, 1].
+[[nodiscard]] inline double quantile(std::vector<double> sorted_sample,
+                                     double q) {
+  BIL_REQUIRE(!sorted_sample.empty(), "quantile of an empty sample");
+  BIL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  std::sort(sorted_sample.begin(), sorted_sample.end());
+  const double position =
+      q * static_cast<double>(sorted_sample.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const std::size_t upper =
+      std::min(lower + 1, sorted_sample.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return sorted_sample[lower] * (1.0 - fraction) +
+         sorted_sample[upper] * fraction;
+}
+
+/// Full summary of a sample.
+[[nodiscard]] inline Summary summarize(const std::vector<double>& sample) {
+  BIL_REQUIRE(!sample.empty(), "summary of an empty sample");
+  OnlineStats online;
+  for (double x : sample) {
+    online.add(x);
+  }
+  Summary summary;
+  summary.count = online.count();
+  summary.mean = online.mean();
+  summary.stddev = online.stddev();
+  summary.min = online.min();
+  summary.median = quantile(sample, 0.5);
+  summary.p99 = quantile(sample, 0.99);
+  summary.max = online.max();
+  return summary;
+}
+
+}  // namespace bil::stats

@@ -1,0 +1,91 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/contract.h"
+
+namespace bil::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BIL_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  BIL_REQUIRE(row.size() == headers_.size(),
+              "row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  return std::all_of(cell.begin(), cell.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0 || c == '.' || c == '-' || c == '+' ||
+           c == 'e' || c == '%' || c == 'x';
+  });
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      os << (c == 0 ? "" : "  ");
+      if (looks_numeric(cells[c])) {
+        os << std::string(pad, ' ') << cells[c];
+      } else {
+        os << cells[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_int(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace bil::stats

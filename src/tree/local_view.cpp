@@ -1,0 +1,251 @@
+#include "tree/local_view.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace bil::tree {
+
+LocalTreeView::LocalTreeView(std::shared_ptr<const TreeShape> shape)
+    : shape_(std::move(shape)) {
+  BIL_REQUIRE(shape_ != nullptr, "LocalTreeView needs a shape");
+  subtree_count_.assign(shape_->num_nodes(), 0);
+}
+
+std::size_t LocalTreeView::index_of(Label ball) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), ball);
+  BIL_REQUIRE(it != labels_.end() && *it == ball,
+              "ball " + std::to_string(ball) + " is not registered");
+  return static_cast<std::size_t>(it - labels_.begin());
+}
+
+void LocalTreeView::add_contribution(NodeId node, std::int32_t delta) {
+  // A ball at `node` is counted in every subtree containing it: walk up to
+  // the root adjusting counts.
+  for (NodeId v = node; v != kNoNode; v = shape_->parent(v)) {
+    if (delta > 0) {
+      subtree_count_[v] += static_cast<std::uint32_t>(delta);
+    } else {
+      BIL_ENSURE(subtree_count_[v] > 0, "subtree count underflow");
+      subtree_count_[v] -= static_cast<std::uint32_t>(-delta);
+    }
+  }
+}
+
+void LocalTreeView::insert_all_at_root(std::span<const Label> balls) {
+  labels_.assign(balls.begin(), balls.end());
+  std::sort(labels_.begin(), labels_.end());
+  BIL_REQUIRE(std::adjacent_find(labels_.begin(), labels_.end()) ==
+                  labels_.end(),
+              "ball labels must be distinct");
+  node_of_.assign(labels_.size(), TreeShape::root());
+  subtree_count_.assign(shape_->num_nodes(), 0);
+  subtree_count_[TreeShape::root()] =
+      static_cast<std::uint32_t>(labels_.size());
+  alive_count_ = static_cast<std::uint32_t>(labels_.size());
+}
+
+void LocalTreeView::insert_at_root(Label ball) {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), ball);
+  BIL_REQUIRE(it == labels_.end() || *it != ball,
+              "ball " + std::to_string(ball) + " already registered");
+  const auto slot = it - labels_.begin();
+  labels_.insert(it, ball);
+  node_of_.insert(node_of_.begin() + slot, TreeShape::root());
+  add_contribution(TreeShape::root(), +1);
+  ++alive_count_;
+}
+
+void LocalTreeView::remove(Label ball) {
+  const std::size_t slot = index_of(ball);
+  BIL_REQUIRE(node_of_[slot] != kNoNode,
+              "ball " + std::to_string(ball) + " already removed");
+  add_contribution(node_of_[slot], -1);
+  node_of_[slot] = kNoNode;
+  --alive_count_;
+}
+
+bool LocalTreeView::contains(Label ball) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), ball);
+  return it != labels_.end() && *it == ball &&
+         node_of_[static_cast<std::size_t>(it - labels_.begin())] != kNoNode;
+}
+
+NodeId LocalTreeView::current(Label ball) const {
+  const std::size_t slot = index_of(ball);
+  BIL_REQUIRE(node_of_[slot] != kNoNode,
+              "ball " + std::to_string(ball) + " was removed");
+  return node_of_[slot];
+}
+
+std::vector<Label> LocalTreeView::balls() const {
+  std::vector<Label> alive;
+  alive.reserve(alive_count_);
+  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
+    if (node_of_[slot] != kNoNode) {
+      alive.push_back(labels_[slot]);
+    }
+  }
+  return alive;
+}
+
+std::uint32_t LocalTreeView::remaining_capacity(NodeId node) const {
+  const std::uint32_t leaves = shape_->leaf_count(node);
+  const std::uint32_t balls = subtree_count_.at(node);
+  // Saturate: stale crashed entries can transiently overfill a view's
+  // subtree (see the header comment); a full-or-overfull subtree simply
+  // admits no more balls.
+  return balls >= leaves ? 0 : leaves - balls;
+}
+
+std::uint32_t LocalTreeView::balls_at(NodeId node) const {
+  std::uint32_t below = 0;
+  if (!shape_->is_leaf(node)) {
+    below = subtree_count_.at(shape_->left(node)) +
+            subtree_count_.at(shape_->right(node));
+  }
+  return subtree_count_.at(node) - below;
+}
+
+NodeId LocalTreeView::descend_toward(Label ball, NodeId target) {
+  const std::size_t slot = index_of(ball);
+  BIL_REQUIRE(node_of_[slot] != kNoNode, "cannot move a removed ball");
+  NodeId node = node_of_[slot];
+  BIL_REQUIRE(shape_->is_ancestor_or_self(node, target),
+              "descent target must lie in the ball's current subtree");
+  // Advance into each next subtree only while it can still absorb one more
+  // ball; the counts are updated step by step so that balls processed later
+  // in <R order observe this ball's placement.
+  while (node != target) {
+    const NodeId next = shape_->child_toward(node, target);
+    if (remaining_capacity(next) == 0) {
+      break;
+    }
+    subtree_count_[next] += 1;
+    node = next;
+  }
+  node_of_[slot] = node;
+  return node;
+}
+
+std::optional<Label> LocalTreeView::find_ball_at(NodeId node) const {
+  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
+    if (node_of_[slot] == node) {
+      return labels_[slot];
+    }
+  }
+  return std::nullopt;
+}
+
+void LocalTreeView::reposition(Label ball, NodeId node) {
+  BIL_REQUIRE(node < shape_->num_nodes(), "reposition target out of range");
+  const std::size_t slot = index_of(ball);
+  BIL_REQUIRE(node_of_[slot] != kNoNode, "cannot reposition a removed ball");
+  if (node_of_[slot] == node) {
+    return;
+  }
+  add_contribution(node_of_[slot], -1);
+  add_contribution(node, +1);
+  node_of_[slot] = node;
+}
+
+std::vector<Label> LocalTreeView::ordered_balls() const {
+  struct Entry {
+    std::uint32_t depth;
+    Label label;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(alive_count_);
+  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
+    if (node_of_[slot] != kNoNode) {
+      entries.push_back(Entry{shape_->depth(node_of_[slot]), labels_[slot]});
+    }
+  }
+  // Definition 1 (<R): deeper balls first; ties by smaller label.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.depth != b.depth) {
+                return a.depth > b.depth;
+              }
+              return a.label < b.label;
+            });
+  std::vector<Label> order;
+  order.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    order.push_back(entry.label);
+  }
+  return order;
+}
+
+bool LocalTreeView::all_at_leaves() const {
+  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
+    if (node_of_[slot] != kNoNode && !shape_->is_leaf(node_of_[slot])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t LocalTreeView::max_balls_at_node() const {
+  std::uint32_t best = 0;
+  for (NodeId node = 0; node < shape_->num_nodes(); ++node) {
+    best = std::max(best, balls_at(node));
+  }
+  return best;
+}
+
+std::uint32_t LocalTreeView::max_inner_path_load() const {
+  // DFS accumulating the number of balls at inner nodes from the root;
+  // record the running sum at every leaf.
+  struct Frame {
+    NodeId node;
+    std::uint32_t load_above;
+  };
+  std::uint32_t best = 0;
+  std::vector<Frame> stack{{TreeShape::root(), 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (shape_->is_leaf(frame.node)) {
+      best = std::max(best, frame.load_above);
+      continue;
+    }
+    const std::uint32_t load = frame.load_above + balls_at(frame.node);
+    stack.push_back(Frame{shape_->left(frame.node), load});
+    stack.push_back(Frame{shape_->right(frame.node), load});
+  }
+  return best;
+}
+
+std::uint32_t LocalTreeView::balls_on_inner_nodes() const {
+  std::uint32_t count = 0;
+  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
+    if (node_of_[slot] != kNoNode && !shape_->is_leaf(node_of_[slot])) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void LocalTreeView::check_capacity_invariant(bool strict) const {
+  std::uint64_t at_nodes_total = 0;
+  for (NodeId node = 0; node < shape_->num_nodes(); ++node) {
+    if (strict) {
+      BIL_ENSURE(subtree_count_[node] <= shape_->leaf_count(node),
+                 "Lemma 1 violated at node " + std::to_string(node));
+    }
+    if (!shape_->is_leaf(node)) {
+      BIL_ENSURE(subtree_count_[node] >=
+                     subtree_count_[shape_->left(node)] +
+                         subtree_count_[shape_->right(node)],
+                 "subtree counts inconsistent at node " + std::to_string(node));
+    }
+    at_nodes_total += balls_at(node);
+  }
+  BIL_ENSURE(at_nodes_total == alive_count_,
+             "ball registry and subtree counts disagree");
+  BIL_ENSURE(subtree_count_[TreeShape::root()] == alive_count_,
+             "root count must equal the number of alive balls");
+}
+
+}  // namespace bil::tree

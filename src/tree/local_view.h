@@ -1,0 +1,136 @@
+// A process's local view of the tree: which balls it believes exist and
+// where they currently sit (paper §4, "each ball keeps a local tree,
+// containing the current position of each ball, including itself").
+//
+// The view maintains per-subtree ball counts so that
+//   RemainingCapacity(η) = leaves(η) − balls-in-subtree(η)
+// is O(1), and implements the capacity-clipped descent of Algorithm 1
+// (lines 12–18): a ball advances along its candidate path while the next
+// subtree still has remaining capacity, and stops where the collision
+// occurs. Because the descent only ever enters a subtree with spare
+// capacity, Lemma 1's invariant (no subtree ever holds more balls than it
+// has leaves) holds by construction; `check_capacity_invariant` re-verifies
+// it explicitly and is called at every phase boundary in debug-heavy tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/types.h"
+#include "tree/shape.h"
+
+namespace bil::tree {
+
+using sim::Label;
+
+class LocalTreeView {
+ public:
+  explicit LocalTreeView(std::shared_ptr<const TreeShape> shape);
+
+  [[nodiscard]] const TreeShape& shape() const noexcept { return *shape_; }
+
+  // ---- Ball registry -----------------------------------------------------
+
+  /// Registers all balls at the root in one batch (the initialization round,
+  /// Algorithm 1 line 1). Labels must be distinct; the batch replaces any
+  /// previous registry contents.
+  void insert_all_at_root(std::span<const Label> labels);
+
+  /// Registers one ball at the root. O(registry size); prefer the batch
+  /// form on the hot path.
+  void insert_at_root(Label ball);
+
+  /// Removes a ball (Algorithm 1 lines 20 / 27: the ball has crashed).
+  void remove(Label ball);
+
+  [[nodiscard]] bool contains(Label ball) const;
+  [[nodiscard]] NodeId current(Label ball) const;
+  [[nodiscard]] std::uint32_t ball_count() const noexcept {
+    return alive_count_;
+  }
+  /// Alive labels in increasing label order.
+  [[nodiscard]] std::vector<Label> balls() const;
+
+  // ---- Capacity ----------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t balls_in_subtree(NodeId node) const {
+    return subtree_count_.at(node);
+  }
+  /// Leaves of the subtree minus balls in the subtree (paper's
+  /// RemainingCapacity), saturating at 0.
+  ///
+  /// Saturation matters: the paper's Lemma 1 bounds the number of *correct*
+  /// balls per subtree; a local view can additionally contain stale entries
+  /// for balls that crashed mid-broadcast (received by this view but not by
+  /// the crashed ball's other peers), and round-2 position reports can
+  /// transiently push a subtree's *total* count past its leaf count until
+  /// the stale entries are purged at their turn in the next phase's <R
+  /// iteration. Movement treats such subtrees as full, which is always safe.
+  [[nodiscard]] std::uint32_t remaining_capacity(NodeId node) const;
+  /// Balls sitting exactly at `node`.
+  [[nodiscard]] std::uint32_t balls_at(NodeId node) const;
+  /// Smallest-label ball sitting exactly at `node`, if any. O(registry).
+  [[nodiscard]] std::optional<Label> find_ball_at(NodeId node) const;
+
+  // ---- Movement ----------------------------------------------------------
+
+  /// Moves `ball` from its current node toward `target` along the unique
+  /// downward path, advancing into each next subtree only while that subtree
+  /// has remaining capacity (Algorithm 1 lines 14–18). Returns the node
+  /// where the ball stops. Requires `target` to lie in the subtree of the
+  /// ball's current node. (`target` is a leaf for every candidate-path
+  /// policy except the one-level halving baseline.)
+  NodeId descend_toward(Label ball, NodeId target);
+
+  /// Unconditionally repositions a ball (round-2 position synchronization,
+  /// Algorithm 1 line 25). The position is the sender's self-report and is
+  /// authoritative.
+  void reposition(Label ball, NodeId node);
+
+  // ---- Priority order and termination ------------------------------------
+
+  /// All alive balls in <R order (Definition 1): deeper balls first, ties
+  /// broken by smaller label.
+  [[nodiscard]] std::vector<Label> ordered_balls() const;
+
+  /// True iff every ball in the view sits at a leaf (Algorithm 1 line 29).
+  [[nodiscard]] bool all_at_leaves() const;
+
+  // ---- Instrumentation (feeds experiments E4/E5) --------------------------
+
+  /// Max balls at any single node — the paper's bmax(φ).
+  [[nodiscard]] std::uint32_t max_balls_at_node() const;
+
+  /// Max over all leaves of the number of balls at *inner* nodes on the
+  /// root→leaf path — the path population of §5.2.
+  [[nodiscard]] std::uint32_t max_inner_path_load() const;
+
+  /// Number of balls not yet at a leaf.
+  [[nodiscard]] std::uint32_t balls_on_inner_nodes() const;
+
+  // ---- Invariants ----------------------------------------------------------
+
+  /// Re-verifies internal count consistency and, when `strict` (the default,
+  /// valid whenever the view holds no stale crashed entries — e.g. in
+  /// failure-free runs), the total-ball form of Lemma 1: balls in subtree <=
+  /// leaves for every subtree. Throws ContractViolation on failure.
+  void check_capacity_invariant(bool strict = true) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(Label ball) const;
+  void add_contribution(NodeId node, std::int32_t delta);
+
+  std::shared_ptr<const TreeShape> shape_;
+  /// Balls in every subtree, indexed by NodeId.
+  std::vector<std::uint32_t> subtree_count_;
+  /// Sorted distinct labels ever inserted (tombstoned on removal).
+  std::vector<Label> labels_;
+  /// Position per registry slot; kNoNode marks a removed ball.
+  std::vector<NodeId> node_of_;
+  std::uint32_t alive_count_ = 0;
+};
+
+}  // namespace bil::tree

@@ -1,0 +1,54 @@
+#include "tree/shape.h"
+
+#include <algorithm>
+
+namespace bil::tree {
+
+TreeShape::TreeShape(std::uint32_t num_leaves) : num_leaves_(num_leaves) {
+  BIL_REQUIRE(num_leaves >= 1, "a tree needs at least one leaf");
+  nodes_.reserve(2 * static_cast<std::size_t>(num_leaves) - 1);
+  leaf_by_rank_.assign(num_leaves, kNoNode);
+  build(/*first_leaf=*/0, /*count=*/num_leaves, /*depth=*/0,
+        /*parent=*/kNoNode);
+  BIL_ENSURE(nodes_.size() == 2 * static_cast<std::size_t>(num_leaves) - 1,
+             "binary tree over n leaves must have 2n-1 nodes");
+}
+
+NodeId TreeShape::build(std::uint32_t first_leaf, std::uint32_t count,
+                        std::uint32_t depth, NodeId parent) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{.left = kNoNode,
+                        .right = kNoNode,
+                        .parent = parent,
+                        .leaf_count = count,
+                        .first_leaf = first_leaf,
+                        .depth = depth});
+  height_ = std::max(height_, depth);
+  if (count == 1) {
+    leaf_by_rank_[first_leaf] = id;
+    return id;
+  }
+  const std::uint32_t left_count = (count + 1) / 2;  // left-heavy split
+  const NodeId left_child = build(first_leaf, left_count, depth + 1, id);
+  const NodeId right_child =
+      build(first_leaf + left_count, count - left_count, depth + 1, id);
+  nodes_[id].left = left_child;
+  nodes_[id].right = right_child;
+  return id;
+}
+
+std::vector<NodeId> TreeShape::path(NodeId from, NodeId to) const {
+  BIL_REQUIRE(is_ancestor_or_self(from, to),
+              "path endpoint must lie in the start node's subtree");
+  std::vector<NodeId> nodes;
+  nodes.reserve(depth(to) - depth(from) + 1);
+  NodeId node = from;
+  nodes.push_back(node);
+  while (node != to) {
+    node = child_toward(node, to);
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+}  // namespace bil::tree

@@ -1,0 +1,34 @@
+#include "util/contract.h"
+
+#include <sstream>
+
+namespace bil {
+
+namespace {
+std::string format_message(const char* kind, const char* condition,
+                           const char* file, int line,
+                           const std::string& detail) {
+  std::ostringstream os;
+  os << "contract violation (" << kind << "): `" << condition << "` at "
+     << file << ":" << line;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  return os.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* condition,
+                                     const char* file, int line,
+                                     const std::string& detail)
+    : std::logic_error(format_message(kind, condition, file, line, detail)),
+      kind_(kind) {}
+
+namespace detail {
+void contract_failed(const char* kind, const char* condition, const char* file,
+                     int line, const std::string& detail) {
+  throw ContractViolation(kind, condition, file, line, detail);
+}
+}  // namespace detail
+
+}  // namespace bil

@@ -1,0 +1,59 @@
+// Contract checking for the Balls-into-Leaves library.
+//
+// The library distinguishes two failure classes:
+//   * Precondition violations by the caller (bad arguments, protocol misuse)
+//     -> BIL_REQUIRE, throws bil::ContractViolation. These stay on in all
+//        build types: a renaming library that silently accepts a malformed
+//        configuration would produce wrong names, which is worse than
+//        throwing.
+//   * Internal invariant violations (bugs in this library, e.g. a subtree
+//     exceeding its capacity, which Lemma 1 of the paper proves impossible)
+//     -> BIL_ENSURE. Also always on; these guard the safety arguments that
+//        the correctness proofs rest on, and every one of them is exercised
+//        by the test suite.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bil {
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* condition, const char* file,
+                    int line, const std::string& detail);
+
+  /// "requires" or "ensures".
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+
+ private:
+  const char* kind_;
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* condition,
+                                  const char* file, int line,
+                                  const std::string& detail);
+}  // namespace detail
+
+}  // namespace bil
+
+/// Checks a caller-facing precondition; throws bil::ContractViolation with
+/// the given detail message (any expression convertible to std::string).
+#define BIL_REQUIRE(cond, detail_message)                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::bil::detail::contract_failed("requires", #cond, __FILE__,       \
+                                     __LINE__, (detail_message));       \
+    }                                                                   \
+  } while (false)
+
+/// Checks an internal invariant; throws bil::ContractViolation when it fails.
+#define BIL_ENSURE(cond, detail_message)                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::bil::detail::contract_failed("ensures", #cond, __FILE__,        \
+                                     __LINE__, (detail_message));       \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,126 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/contract.h"
+
+namespace bil {
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagSet::add_string(const std::string& name, std::string* value,
+                         const std::string& help) {
+  BIL_REQUIRE(value != nullptr, "flag target must not be null");
+  BIL_REQUIRE(flags_.emplace(name, Flag{Kind::kString, value, help, *value})
+                  .second,
+              "duplicate flag --" + name);
+}
+
+void FlagSet::add_uint(const std::string& name, std::uint64_t* value,
+                       const std::string& help) {
+  BIL_REQUIRE(value != nullptr, "flag target must not be null");
+  BIL_REQUIRE(flags_
+                  .emplace(name, Flag{Kind::kUint, value, help,
+                                      std::to_string(*value)})
+                  .second,
+              "duplicate flag --" + name);
+}
+
+void FlagSet::add_bool(const std::string& name, bool* value,
+                       const std::string& help) {
+  BIL_REQUIRE(value != nullptr, "flag target must not be null");
+  BIL_REQUIRE(flags_
+                  .emplace(name, Flag{Kind::kBool, value, help,
+                                      *value ? "true" : "false"})
+                  .second,
+              "duplicate flag --" + name);
+}
+
+void FlagSet::set_value(const std::string& name, Flag& flag,
+                        const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return;
+    case Kind::kUint: {
+      std::uint64_t parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      BIL_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+                  "--" + name + " expects an unsigned integer, got '" +
+                      value + "'");
+      *static_cast<std::uint64_t*>(flag.target) = parsed;
+      return;
+    }
+    case Kind::kBool:
+      BIL_REQUIRE(value == "true" || value == "false",
+                  "--" + name + " expects true/false, got '" + value + "'");
+      *static_cast<bool*>(flag.target) = value == "true";
+      return;
+  }
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return false;
+    }
+    BIL_REQUIRE(arg.rfind("--", 0) == 0,
+                "expected a --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+
+    // Boolean shorthand: --name / --no-name.
+    if (!value.has_value()) {
+      const bool negated = name.rfind("no-", 0) == 0;
+      const std::string base = negated ? name.substr(3) : name;
+      const auto it = flags_.find(base);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        *static_cast<bool*>(it->second.target) = !negated;
+        continue;
+      }
+    }
+
+    const auto it = flags_.find(name);
+    BIL_REQUIRE(it != flags_.end(), "unknown flag --" + name);
+    if (!value.has_value()) {
+      BIL_REQUIRE(i + 1 < argc, "--" + name + " is missing its value");
+      value = argv[++i];
+    }
+    set_value(name, it->second, *value);
+  }
+  return true;
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kString:
+        os << "=<string>";
+        break;
+      case Kind::kUint:
+        os << "=<uint>";
+        break;
+      case Kind::kBool:
+        os << " | --no-" << name;
+        break;
+    }
+    os << "\n      " << flag.help << " (default: " << flag.default_repr
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace bil

@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing (no external dependencies).
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error; `--help` renders generated
+// usage. Used by the tools/ binaries; deliberately tiny — if you need more,
+// you need a real flags library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bil {
+
+class FlagSet {
+ public:
+  /// `program` and `description` feed the generated --help text.
+  FlagSet(std::string program, std::string description);
+
+  /// Registers a flag; `value` holds the default and receives the parsed
+  /// result. The pointer must outlive parse().
+  void add_string(const std::string& name, std::string* value,
+                  const std::string& help);
+  void add_uint(const std::string& name, std::uint64_t* value,
+                const std::string& help);
+  void add_bool(const std::string& name, bool* value, const std::string& help);
+
+  /// Parses argv (excluding argv[0]). Returns false (after printing usage)
+  /// when --help was requested; throws ContractViolation on malformed or
+  /// unknown flags.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// The generated usage text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind : std::uint8_t { kString, kUint, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void set_value(const std::string& name, Flag& flag,
+                 const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace bil

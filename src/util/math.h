@@ -1,0 +1,49 @@
+// Small integer/math helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/contract.h"
+
+namespace bil {
+
+/// floor(log2(x)); requires x >= 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  BIL_REQUIRE(x >= 1, "floor_log2 requires a positive argument");
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x >= 1. ceil_log2(1) == 0.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  BIL_REQUIRE(x >= 1, "ceil_log2 requires a positive argument");
+  return x == 1 ? 0u : static_cast<std::uint32_t>(64 - std::countl_zero(x - 1));
+}
+
+/// True iff x is a power of two (x >= 1).
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// log2(log2(n)) as a double, clamped for small n so that model fitting over
+/// the paper's O(log log n) bound is defined for every n >= 2 the harness
+/// sweeps. For n <= 2 the inner log is <= 1, so we return 0.
+[[nodiscard]] inline double log2_log2(double n) {
+  if (n <= 2.0) {
+    return 0.0;
+  }
+  return std::log2(std::log2(n));
+}
+
+/// Checked narrowing cast: throws ContractViolation when `value` does not fit.
+template <typename To, typename From>
+[[nodiscard]] constexpr To checked_cast(From value) {
+  const To narrowed = static_cast<To>(value);
+  BIL_REQUIRE(static_cast<From>(narrowed) == value &&
+                  ((narrowed < To{}) == (value < From{})),
+              "checked_cast would change the value");
+  return narrowed;
+}
+
+}  // namespace bil

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Every simulated run in this repository is a pure function of
+// (algorithm, n, adversary, seed). To make that hold, all randomness flows
+// through this module instead of <random>:
+//   * std::mt19937 / std::uniform_int_distribution produce different streams
+//     across standard-library implementations; xoshiro256** is specified
+//     bit-for-bit.
+//   * Per-process generators are derived from the run seed with splitmix64,
+//     so process i's coin flips do not depend on how many coins process i-1
+//     consumed.
+//
+// The coin primitive the paper needs (Algorithm 1, line 6) is a Bernoulli
+// trial with an exact rational probability — RemainingCapacity(left) /
+// RemainingCapacity(node) — so `Rng::bernoulli_ratio` operates on integers
+// directly and never rounds through floating point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace bil {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for deriving independent sub-streams.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator (Blackman & Vigna), deterministic across platforms.
+///
+/// Satisfies std::uniform_random_bit_generator so it can be plugged into
+/// standard algorithms, though the library's own helpers below are preferred
+/// because their output is platform-independent.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound >= 1.
+  /// Uses rejection sampling (Lemire-style threshold), so the result is
+  /// exactly uniform, not merely approximately.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo,
+                                      std::uint64_t hi) noexcept;
+
+  /// Bernoulli trial with exact probability numerator/denominator.
+  /// Requires denominator >= 1 and numerator <= denominator.
+  /// Returns true ("heads") with probability numerator/denominator.
+  [[nodiscard]] bool bernoulli_ratio(std::uint64_t numerator,
+                                     std::uint64_t denominator) noexcept;
+
+  /// Derives an independent generator; deterministic in (this state, tag).
+  /// Advances this generator once.
+  [[nodiscard]] Rng fork(std::uint64_t tag) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives the seed for sub-stream `index` of stream family `domain` from a
+/// run seed. Distinct (domain, index) pairs give independent streams; used to
+/// hand one generator to each process and one to the adversary.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t run_seed,
+                                        std::uint64_t domain,
+                                        std::uint64_t index) noexcept;
+
+}  // namespace bil

@@ -1,0 +1,122 @@
+#include "wire/wire.h"
+
+#include <cstring>
+
+namespace bil::wire {
+
+namespace {
+template <typename T>
+void append_le(Buffer& buf, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T read_le(std::span<const std::byte> bytes) {
+  T value{};
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value = static_cast<T>(value |
+                           (static_cast<T>(std::to_integer<std::uint8_t>(
+                                bytes[i]))
+                            << (8 * i)));
+  }
+  return value;
+}
+}  // namespace
+
+void Writer::u8(std::uint8_t value) { append_le(buf_, value); }
+void Writer::u16(std::uint16_t value) { append_le(buf_, value); }
+void Writer::u32(std::uint32_t value) { append_le(buf_, value); }
+void Writer::u64(std::uint64_t value) { append_le(buf_, value); }
+
+void Writer::varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buf_.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  buf_.push_back(static_cast<std::byte>(value));
+}
+
+void Writer::boolean(bool value) { u8(value ? 1 : 0); }
+
+void Writer::raw(std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::bytes(std::span<const std::byte> data) {
+  varint(data.size());
+  raw(data);
+}
+
+void Writer::str(std::string_view text) {
+  varint(text.size());
+  for (char c : text) {
+    buf_.push_back(static_cast<std::byte>(c));
+  }
+}
+
+std::span<const std::byte> Reader::take(std::size_t count) {
+  if (count > remaining()) {
+    throw WireError("buffer underflow: need " + std::to_string(count) +
+                    " bytes, have " + std::to_string(remaining()));
+  }
+  auto view = data_.subspan(pos_, count);
+  pos_ += count;
+  return view;
+}
+
+std::uint8_t Reader::u8() { return read_le<std::uint8_t>(take(1)); }
+std::uint16_t Reader::u16() { return read_le<std::uint16_t>(take(2)); }
+std::uint32_t Reader::u32() { return read_le<std::uint32_t>(take(4)); }
+std::uint64_t Reader::u64() { return read_le<std::uint64_t>(take(8)); }
+
+std::uint64_t Reader::varint() {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical encodings of the final (10th) byte that would
+      // overflow 64 bits.
+      if (shift == 63 && byte > 1) {
+        throw WireError("varint overflows 64 bits");
+      }
+      return value;
+    }
+  }
+  throw WireError("varint longer than 10 bytes");
+}
+
+bool Reader::boolean() {
+  const std::uint8_t value = u8();
+  if (value > 1) {
+    throw WireError("boolean byte must be 0 or 1, got " +
+                    std::to_string(value));
+  }
+  return value == 1;
+}
+
+std::span<const std::byte> Reader::bytes() {
+  const std::uint64_t count = varint();
+  if (count > remaining()) {
+    throw WireError("byte string length exceeds remaining buffer");
+  }
+  return take(static_cast<std::size_t>(count));
+}
+
+std::string Reader::str() {
+  const auto view = bytes();
+  std::string out(view.size(), '\0');
+  std::memcpy(out.data(), view.data(), view.size());
+  return out;
+}
+
+void Reader::expect_done() const {
+  if (!done()) {
+    throw WireError("trailing bytes after message: " +
+                    std::to_string(remaining()) + " unread");
+  }
+}
+
+}  // namespace bil::wire

@@ -1,0 +1,227 @@
+// Adversarial executions: every crash strategy against every tree-based
+// algorithm and termination mode. These runs exercise the protocol's
+// divergent-view machinery (subset delivery, stale-entry purging);
+// run_renaming re-validates termination/validity/uniqueness on every
+// single run, so a test failing here pinpoints a safety violation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/runner.h"
+#include "sim/adversaries.h"
+
+namespace bil {
+namespace {
+
+using harness::AdversaryKind;
+using harness::AdversarySpec;
+using harness::RunConfig;
+
+RunConfig base_config(std::uint32_t n, std::uint64_t seed) {
+  RunConfig config;
+  config.n = n;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Adversary, ObliviousRandomCrashes) {
+  for (std::uint32_t n : {8u, 32u, 64u}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      RunConfig config = base_config(n, seed);
+      config.adversary = AdversarySpec{.kind = AdversaryKind::kOblivious,
+                                       .crashes = n / 2,
+                                       .horizon = 8};
+      const auto summary = harness::run_renaming(config);
+      EXPECT_TRUE(summary.completed) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Adversary, BurstDuringInitRound) {
+  // Crashes during the label exchange: views disagree about who exists.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kBurst,
+                                     .crashes = 15,
+                                     .when = 0,
+                                     .subset = sim::SubsetPolicy::kAlternating};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+    EXPECT_EQ(summary.crashes, 15u);
+  }
+}
+
+TEST(Adversary, BurstDuringFirstPathRound) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kBurst,
+                                     .crashes = 16,
+                                     .when = 1,
+                                     .subset = sim::SubsetPolicy::kRandomHalf};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Adversary, BurstDuringPositionRound) {
+  // Crashing announcers plants stale positions in half the views.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kBurst,
+                                     .crashes = 10,
+                                     .when = 2,
+                                     .subset = sim::SubsetPolicy::kRandomHalf};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Adversary, SilentCrashes) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kBurst,
+                                     .crashes = 20,
+                                     .when = 1,
+                                     .subset = sim::SubsetPolicy::kSilent};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Adversary, FullDeliveryCrashes) {
+  // Crash right after a complete broadcast: everyone saw the final message,
+  // the victim is silent from the next round on.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kBurst,
+                                     .crashes = 20,
+                                     .when = 1,
+                                     .subset = sim::SubsetPolicy::kAll};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Adversary, SandwichEveryPhase) {
+  for (std::uint32_t n : {16u, 64u}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      RunConfig config = base_config(n, seed);
+      config.adversary = AdversarySpec{.kind = AdversaryKind::kSandwich,
+                                       .crashes = n - 1,
+                                       .per_round = 1};
+      const auto summary = harness::run_renaming(config);
+      EXPECT_TRUE(summary.completed) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Adversary, EagerKeepsCrashingUntilTheRunEnds) {
+  RunConfig config = base_config(32, 5);
+  config.adversary = AdversarySpec{.kind = AdversaryKind::kEager,
+                                   .crashes = 31,
+                                   .when = 1,
+                                   .per_round = 4};
+  const auto summary = harness::run_renaming(config);
+  EXPECT_TRUE(summary.completed);
+  // 4 victims per round from round 1 on; the protocol may outrun the budget,
+  // but every pre-completion round must have been attacked.
+  EXPECT_GE(summary.crashes, 4 * (summary.rounds - 2));
+  EXPECT_LE(summary.crashes, 31u);
+  EXPECT_GE(summary.crashes, 12u);
+}
+
+TEST(Adversary, TargetedWinnerSniping) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kTargetedWinner,
+                                     .crashes = 16,
+                                     .per_round = 2,
+                                     .subset = sim::SubsetPolicy::kAlternating};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Adversary, TargetedAnnouncerPhantoms) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig config = base_config(32, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kTargetedAnnouncer,
+                                     .crashes = 16,
+                                     .per_round = 2,
+                                     .subset = sim::SubsetPolicy::kAlternating};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+  }
+}
+
+TEST(Adversary, AllStrategiesAgainstEagerLeafMode) {
+  const std::vector<AdversarySpec> specs = {
+      {.kind = AdversaryKind::kOblivious, .crashes = 12, .horizon = 10},
+      {.kind = AdversaryKind::kBurst, .crashes = 12, .when = 2,
+       .subset = sim::SubsetPolicy::kRandomHalf},
+      {.kind = AdversaryKind::kSandwich, .crashes = 20, .per_round = 1},
+      {.kind = AdversaryKind::kTargetedWinner, .crashes = 12, .per_round = 2,
+       .subset = sim::SubsetPolicy::kAlternating},
+      {.kind = AdversaryKind::kTargetedAnnouncer, .crashes = 12,
+       .per_round = 2, .subset = sim::SubsetPolicy::kAlternating},
+  };
+  for (const AdversarySpec& spec : specs) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      RunConfig config = base_config(24, seed);
+      config.termination = core::TerminationMode::kEagerLeaf;
+      config.adversary = spec;
+      const auto summary = harness::run_renaming(config);
+      EXPECT_TRUE(summary.completed)
+          << to_string(spec.kind) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Adversary, AllStrategiesAgainstDeterministicPolicies) {
+  const std::vector<harness::Algorithm> algorithms = {
+      harness::Algorithm::kEarlyTerminating,
+      harness::Algorithm::kRankDescent,
+      harness::Algorithm::kHalving,
+  };
+  const std::vector<AdversarySpec> specs = {
+      {.kind = AdversaryKind::kOblivious, .crashes = 10, .horizon = 8},
+      {.kind = AdversaryKind::kBurst, .crashes = 10, .when = 0,
+       .subset = sim::SubsetPolicy::kAlternating},
+      {.kind = AdversaryKind::kSandwich, .crashes = 16, .per_round = 1},
+  };
+  for (harness::Algorithm algorithm : algorithms) {
+    for (const AdversarySpec& spec : specs) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        RunConfig config = base_config(24, seed);
+        config.algorithm = algorithm;
+        config.adversary = spec;
+        const auto summary = harness::run_renaming(config);
+        EXPECT_TRUE(summary.completed)
+            << to_string(algorithm) << " vs " << to_string(spec.kind)
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(Adversary, SingleSurvivorStillDecides) {
+  // t = n-1: the adversary may kill everyone but one ball.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RunConfig config = base_config(16, seed);
+    config.adversary = AdversarySpec{.kind = AdversaryKind::kEager,
+                                     .crashes = 15,
+                                     .when = 0,
+                                     .per_round = 15,
+                                     .subset = sim::SubsetPolicy::kRandomHalf};
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "seed=" << seed;
+    std::uint32_t survivors = 0;
+    for (const auto& outcome : summary.raw.outcomes) {
+      survivors += outcome.crashed ? 0 : 1;
+    }
+    EXPECT_EQ(survivors, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bil

@@ -1,0 +1,133 @@
+// Tests for the experiment harness: configuration mapping, run summaries,
+// labels, observers, and the ASCII renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/ascii_tree.h"
+#include "harness/runner.h"
+#include "util/contract.h"
+
+namespace bil {
+namespace {
+
+using harness::Algorithm;
+using harness::RunConfig;
+
+TEST(Runner, EveryAlgorithmRuns) {
+  for (Algorithm algorithm :
+       {Algorithm::kBallsIntoLeaves, Algorithm::kEarlyTerminating,
+        Algorithm::kRankDescent, Algorithm::kHalving, Algorithm::kGossip,
+        Algorithm::kNaiveBins}) {
+    RunConfig config;
+    config.algorithm = algorithm;
+    config.n = 16;
+    config.seed = 4;
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << to_string(algorithm);
+    EXPECT_GT(summary.rounds, 0u);
+    EXPECT_GT(summary.messages_delivered, 0u);
+    EXPECT_GT(summary.bytes_delivered, 0u);
+  }
+}
+
+TEST(Runner, SummaryFieldsAreCoherent) {
+  RunConfig config;
+  config.n = 32;
+  config.seed = 9;
+  const auto summary = harness::run_renaming(config);
+  EXPECT_LE(summary.rounds, summary.total_rounds);
+  EXPECT_EQ(summary.crashes, 0u);
+  EXPECT_EQ(summary.raw.outcomes.size(), 32u);
+  EXPECT_EQ(summary.raw.metrics.per_round.size(), summary.total_rounds);
+}
+
+TEST(Runner, LabelStrideAndOffsetReachTheProtocol) {
+  RunConfig config;
+  config.algorithm = Algorithm::kRankDescent;
+  config.n = 8;
+  config.seed = 1;
+  config.label_offset = 1000;
+  config.label_stride = 17;
+  const auto summary = harness::run_renaming(config);
+  // Rank-descent names are order-preserving in labels, which are monotone
+  // in the id: process i gets name i+1 regardless of the actual labels.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(summary.raw.outcomes[i].name, i + 1);
+  }
+}
+
+TEST(Runner, RejectsZeroStride) {
+  RunConfig config;
+  config.n = 4;
+  config.label_stride = 0;
+  EXPECT_THROW((void)harness::run_renaming(config), ContractViolation);
+}
+
+TEST(Runner, ObserverSnapshotsArriveWhenRequested) {
+  RunConfig config;
+  config.n = 32;
+  config.seed = 2;
+  config.observe = true;
+  const auto with = harness::run_renaming(config);
+  EXPECT_FALSE(with.phases.empty());
+  config.observe = false;
+  const auto without = harness::run_renaming(config);
+  EXPECT_TRUE(without.phases.empty());
+  // Observation must not perturb the run.
+  EXPECT_EQ(with.rounds, without.rounds);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(with.raw.outcomes[i].name, without.raw.outcomes[i].name);
+  }
+}
+
+TEST(Runner, ToStringsAreStable) {
+  EXPECT_STREQ(to_string(Algorithm::kBallsIntoLeaves), "balls-into-leaves");
+  EXPECT_STREQ(to_string(Algorithm::kGossip), "gossip");
+  EXPECT_STREQ(to_string(harness::AdversaryKind::kSandwich), "sandwich");
+  EXPECT_STREQ(to_string(harness::AdversaryKind::kTargetedWinner),
+               "targeted-winner");
+  EXPECT_STREQ(to_string(core::TerminationMode::kGlobal), "global");
+  EXPECT_STREQ(to_string(core::TerminationMode::kEagerLeaf), "eager-leaf");
+  EXPECT_STREQ(to_string(core::PathPolicy::kRandomWeighted),
+               "balls-into-leaves");
+}
+
+TEST(Runner, MaxRoundsOverrideIsHonored) {
+  RunConfig config;
+  config.n = 8;
+  config.seed = 3;
+  config.max_rounds = 1;  // far too few: the run cannot complete
+  EXPECT_THROW((void)harness::run_renaming(config), ContractViolation);
+}
+
+// ---- ASCII rendering ---------------------------------------------------------
+
+TEST(AsciiTree, RendersOccupancy) {
+  auto shape = tree::TreeShape::make(4);
+  tree::LocalTreeView view(shape);
+  view.insert_all_at_root(std::vector<sim::Label>{7, 9});
+  view.reposition(7, shape->leaf_at(2));
+  std::ostringstream os;
+  harness::render_tree(os, view);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("leaf 2 {b7}"), std::string::npos);
+  EXPECT_NE(out.find("[1] {b9}"), std::string::npos);  // root holds ball 9
+  EXPECT_NE(out.find("leaf 0"), std::string::npos);
+}
+
+TEST(AsciiTree, DepthHistogramCountsBalls) {
+  auto shape = tree::TreeShape::make(8);
+  tree::LocalTreeView view(shape);
+  view.insert_all_at_root(std::vector<sim::Label>{0, 1, 2});
+  view.reposition(0, shape->leaf_at(0));
+  std::ostringstream os;
+  harness::render_depth_histogram(os, view);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("depth 0: 2"), std::string::npos);
+  EXPECT_NE(out.find("depth 3 (leaves): 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bil

@@ -1,0 +1,328 @@
+// Property-based suites.
+//
+// Part 1 sweeps a parameterized grid (algorithm × termination × adversary ×
+// n × seed); every run is validated for the three renaming properties by
+// the harness.
+//
+// Part 2 steps the engine round by round and re-checks the paper's proof
+// obligations directly on the processes' local views at every phase
+// boundary:
+//   * Proposition 1 — all correct views agree on every correct ball's
+//     position;
+//   * Lemma 1 (correct-ball form) — correct balls never overfill a subtree;
+//   * monotone descent / Lemma 2 (path isolation) — within a view, a ball
+//     present across consecutive phases only ever moves down its own
+//     subtree, and removed balls never reappear;
+//   * Lemma 11 — in phases without new crashes, at least one ball reaches a
+//     leaf.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/balls_into_leaves.h"
+#include "core/observer.h"
+#include "core/seeds.h"
+#include "harness/runner.h"
+#include "sim/adversaries.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace bil {
+namespace {
+
+using harness::AdversaryKind;
+using harness::AdversarySpec;
+using harness::Algorithm;
+
+// ---- Part 1: the grid -------------------------------------------------------
+
+using GridParam = std::tuple<Algorithm, core::TerminationMode, AdversaryKind,
+                             std::uint32_t /*n*/, std::uint64_t /*seed*/>;
+
+class RenamingGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(RenamingGrid, SatisfiesRenamingProperties) {
+  const auto [algorithm, termination, adversary, n, seed] = GetParam();
+  harness::RunConfig config;
+  config.algorithm = algorithm;
+  config.termination = termination;
+  config.n = n;
+  config.seed = seed;
+  switch (adversary) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kOblivious:
+      config.adversary = AdversarySpec{.kind = adversary,
+                                       .crashes = n / 3,
+                                       .horizon = 8};
+      break;
+    case AdversaryKind::kBurst:
+      config.adversary =
+          AdversarySpec{.kind = adversary,
+                        .crashes = n / 2,
+                        .when = static_cast<sim::RoundNumber>(seed % 4),
+                        .subset = sim::SubsetPolicy::kAlternating};
+      break;
+    case AdversaryKind::kSandwich:
+      config.adversary =
+          AdversarySpec{.kind = adversary, .crashes = n - 1, .per_round = 1};
+      break;
+    case AdversaryKind::kEager:
+      config.adversary = AdversarySpec{.kind = adversary,
+                                       .crashes = n / 2,
+                                       .when = 1,
+                                       .per_round = 2};
+      break;
+    case AdversaryKind::kTargetedWinner:
+    case AdversaryKind::kTargetedAnnouncer:
+      config.adversary = AdversarySpec{
+          .kind = adversary,
+          .crashes = n / 2,
+          .per_round = 2,
+          .subset = sim::SubsetPolicy::kAlternating};
+      break;
+  }
+  const auto summary = harness::run_renaming(config);
+  EXPECT_TRUE(summary.completed);
+  EXPECT_LE(summary.crashes, config.adversary.crashes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeAlgorithms, RenamingGrid,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::kBallsIntoLeaves,
+                          Algorithm::kEarlyTerminating,
+                          Algorithm::kRankDescent, Algorithm::kHalving),
+        ::testing::Values(core::TerminationMode::kGlobal,
+                          core::TerminationMode::kEagerLeaf),
+        ::testing::Values(AdversaryKind::kNone, AdversaryKind::kOblivious,
+                          AdversaryKind::kBurst, AdversaryKind::kSandwich,
+                          AdversaryKind::kTargetedWinner,
+                          AdversaryKind::kTargetedAnnouncer),
+        ::testing::Values(5u, 16u, 33u),
+        ::testing::Values(1ULL, 2ULL, 3ULL)));
+
+using BaselineParam =
+    std::tuple<Algorithm, AdversaryKind, std::uint32_t, std::uint64_t>;
+
+class BaselineGrid : public ::testing::TestWithParam<BaselineParam> {};
+
+TEST_P(BaselineGrid, SatisfiesRenamingProperties) {
+  const auto [algorithm, adversary, n, seed] = GetParam();
+  harness::RunConfig config;
+  config.algorithm = algorithm;
+  config.n = n;
+  config.seed = seed;
+  if (adversary != AdversaryKind::kNone) {
+    config.adversary = AdversarySpec{.kind = adversary,
+                                     .crashes = n / 3,
+                                     .when = 1,
+                                     .horizon = 6,
+                                     .per_round = 2};
+  }
+  const auto summary = harness::run_renaming(config);
+  EXPECT_TRUE(summary.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, BaselineGrid,
+    ::testing::Combine(::testing::Values(Algorithm::kGossip,
+                                         Algorithm::kNaiveBins),
+                       ::testing::Values(AdversaryKind::kNone,
+                                         AdversaryKind::kOblivious,
+                                         AdversaryKind::kBurst,
+                                         AdversaryKind::kEager),
+                       ::testing::Values(6u, 17u, 32u),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)));
+
+// ---- Part 2: proof obligations, checked on live views ------------------------
+
+struct SteppedRun {
+  std::unique_ptr<sim::Engine> engine;
+  std::uint32_t n = 0;
+};
+
+SteppedRun make_bil_run(std::uint32_t n, std::uint64_t seed,
+                        std::unique_ptr<sim::Adversary> adversary,
+                        std::uint32_t budget) {
+  auto shape = tree::TreeShape::make(n);
+  std::vector<std::unique_ptr<sim::ProcessBase>> processes;
+  for (sim::ProcessId id = 0; id < n; ++id) {
+    processes.push_back(std::make_unique<core::BallsIntoLeavesProcess>(
+        core::BallsIntoLeavesProcess::Options{
+            .num_names = n,
+            .label = id,
+            .seed = derive_seed(seed, core::kSeedDomainProcess, id),
+            .policy = core::PathPolicy::kRandomWeighted,
+            .termination = core::TerminationMode::kGlobal,
+            .shape = shape}));
+  }
+  SteppedRun run;
+  run.engine = std::make_unique<sim::Engine>(
+      sim::EngineConfig{.num_processes = n, .max_crashes = budget},
+      std::move(processes), std::move(adversary));
+  run.n = n;
+  return run;
+}
+
+const core::BallsIntoLeavesProcess& as_bil(const sim::ProcessBase& process) {
+  return dynamic_cast<const core::BallsIntoLeavesProcess&>(process);
+}
+
+/// Runs to completion, checking the proof obligations at each phase
+/// boundary (i.e. after every even round >= 2).
+void check_invariants_throughout(SteppedRun run) {
+  sim::Engine& engine = *run.engine;
+  // Last known position of each ball per viewing process, for monotone
+  // descent: previous[viewer][ball] -> node.
+  std::vector<std::map<sim::Label, tree::NodeId>> previous(run.n);
+  bool running = true;
+  std::uint32_t round = 0;
+  std::uint32_t previous_inner = run.n;
+  while (running && round < 16 * run.n + 64) {
+    running = engine.step();
+    const bool phase_boundary = round >= 2 && round % 2 == 0;
+    if (phase_boundary) {
+      // Gather correct (non-crashed, non-halted... halted are correct too,
+      // but their views are frozen; use live views only) processes.
+      std::vector<sim::ProcessId> live;
+      for (sim::ProcessId id = 0; id < run.n; ++id) {
+        if (!engine.is_crashed(id) && !engine.process(id).halted()) {
+          live.push_back(id);
+        }
+      }
+      // Correct = not crashed (halted processes are correct; their position
+      // is their decided leaf).
+      std::vector<sim::ProcessId> correct;
+      for (sim::ProcessId id = 0; id < run.n; ++id) {
+        if (!engine.is_crashed(id)) {
+          correct.push_back(id);
+        }
+      }
+      // --- Proposition 1: every live view agrees on every correct live
+      // ball's own position.
+      for (sim::ProcessId viewer_id : live) {
+        const auto& viewer = as_bil(engine.process(viewer_id));
+        for (sim::ProcessId ball_id : live) {
+          const auto& owner = as_bil(engine.process(ball_id));
+          const sim::Label ball = owner.label();
+          ASSERT_TRUE(viewer.view().contains(ball))
+              << "round " << round << ": view " << viewer_id
+              << " dropped correct ball " << ball_id;
+          EXPECT_EQ(viewer.view().current(ball), owner.view().current(ball))
+              << "round " << round << ": view " << viewer_id
+              << " disagrees about ball " << ball_id;
+        }
+      }
+      // --- Lemma 1, correct-ball form: count correct live balls per
+      // subtree (positions taken from their own views).
+      if (!live.empty()) {
+        const tree::TreeShape& shape = as_bil(engine.process(live[0])).shape();
+        std::vector<std::uint32_t> count(shape.num_nodes(), 0);
+        for (sim::ProcessId ball_id : live) {
+          const auto& owner = as_bil(engine.process(ball_id));
+          for (tree::NodeId node = owner.view().current(owner.label());;
+               node = shape.parent(node)) {
+            count[node] += 1;
+            if (node == tree::TreeShape::root()) {
+              break;
+            }
+          }
+        }
+        for (tree::NodeId node = 0; node < shape.num_nodes(); ++node) {
+          EXPECT_LE(count[node], shape.leaf_count(node))
+              << "round " << round << ": correct balls overfill node "
+              << node;
+        }
+      }
+      // --- Monotone descent / path isolation, per view.
+      for (sim::ProcessId viewer_id : live) {
+        const auto& viewer = as_bil(engine.process(viewer_id));
+        const tree::TreeShape& shape = viewer.shape();
+        std::map<sim::Label, tree::NodeId> now;
+        for (sim::Label ball : viewer.view().balls()) {
+          now[ball] = viewer.view().current(ball);
+        }
+        for (const auto& [ball, node] : now) {
+          const auto it = previous[viewer_id].find(ball);
+          if (it != previous[viewer_id].end()) {
+            EXPECT_TRUE(shape.is_ancestor_or_self(it->second, node))
+                << "round " << round << ": ball " << ball << " moved UP in view "
+                << viewer_id;
+          } else {
+            EXPECT_TRUE(previous[viewer_id].empty())
+                << "round " << round << ": ball " << ball
+                << " appeared from nowhere in view " << viewer_id;
+          }
+        }
+        previous[viewer_id] = std::move(now);
+      }
+      // --- Lemma 11: if no crash happened in this phase, progress.
+      if (!live.empty()) {
+        std::uint32_t inner = 0;
+        for (sim::ProcessId ball_id : correct) {
+          const auto& owner = as_bil(engine.process(ball_id));
+          const tree::NodeId node = owner.view().current(owner.label());
+          inner += owner.shape().is_leaf(node) ? 0u : 1u;
+        }
+        EXPECT_LE(inner, previous_inner)
+            << "round " << round << ": inner-ball count increased";
+        previous_inner = inner;
+      }
+    }
+    ++round;
+  }
+  EXPECT_FALSE(running) << "run did not converge";
+}
+
+TEST(ProofObligations, FaultFree) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    check_invariants_throughout(make_bil_run(32, seed, nullptr, 0));
+  }
+}
+
+TEST(ProofObligations, UnderObliviousCrashes) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adversary = std::make_unique<sim::ObliviousCrashAdversary>(
+        32,
+        sim::ObliviousCrashAdversary::Options{
+            .crashes = 12,
+            .horizon_rounds = 8,
+            .subset_policy = sim::SubsetPolicy::kRandomHalf},
+        derive_seed(seed, core::kSeedDomainAdversary, 0));
+    check_invariants_throughout(
+        make_bil_run(32, seed, std::move(adversary), 12));
+  }
+}
+
+TEST(ProofObligations, UnderSandwichAttack) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adversary = std::make_unique<sim::SandwichAdversary>(
+        sim::SandwichAdversary::Options{.offset = 1,
+                                        .period = 2,
+                                        .per_round = 1});
+    check_invariants_throughout(
+        make_bil_run(24, seed, std::move(adversary), 23));
+  }
+}
+
+TEST(ProofObligations, UnderPositionRoundCrashes) {
+  // Position-round crashes with subset delivery are what create the stale
+  // "phantom" entries; the invariants must hold through them.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adversary = std::make_unique<sim::EagerCrashAdversary>(
+        sim::EagerCrashAdversary::Options{
+            .start_round = 2,
+            .per_round = 1,
+            .subset_policy = sim::SubsetPolicy::kRandomHalf},
+        derive_seed(seed, core::kSeedDomainAdversary, 7));
+    check_invariants_throughout(
+        make_bil_run(24, seed, std::move(adversary), 12));
+  }
+}
+
+}  // namespace
+}  // namespace bil

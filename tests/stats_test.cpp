@@ -1,0 +1,188 @@
+// Tests for the stats module: summaries, fitting, tables, and the paper's
+// probability bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "stats/binomial.h"
+#include "stats/fit.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/contract.h"
+
+namespace bil::stats {
+namespace {
+
+// ---- OnlineStats / summaries -------------------------------------------------
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(OnlineStats, EmptyThrows) {
+  const OnlineStats stats;
+  EXPECT_THROW((void)stats.mean(), ContractViolation);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputIsHandled) {
+  EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Summarize, FullSummary) {
+  const std::vector<double> sample{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Summary summary = summarize(sample);
+  EXPECT_EQ(summary.count, 10u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.5);
+  EXPECT_DOUBLE_EQ(summary.median, 5.5);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 10.0);
+  EXPECT_GT(summary.p99, 9.0);
+}
+
+// ---- Fitting ------------------------------------------------------------------
+
+TEST(Fit, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, ConstantYIsPerfectFit) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, NoisyDataLowersRSquared) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{1, 6, 2, 8, 3, 9};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_LT(fit.r_squared, 0.9);
+  EXPECT_GE(fit.r_squared, 0.0);
+}
+
+TEST(Fit, RejectsDegenerateInput) {
+  EXPECT_THROW((void)fit_linear(std::vector<double>{1.0},
+                                std::vector<double>{1.0}),
+               ContractViolation);
+  EXPECT_THROW((void)fit_linear(std::vector<double>{2.0, 2.0},
+                                std::vector<double>{1.0, 5.0}),
+               ContractViolation);
+  EXPECT_THROW((void)fit_linear(std::vector<double>{1.0, 2.0},
+                                std::vector<double>{1.0}),
+               ContractViolation);
+}
+
+TEST(Fit, FitAgainstTransformsX) {
+  // rounds that are exactly 3*log2(n) + 1.
+  const std::vector<double> n{4, 16, 64, 256};
+  std::vector<double> rounds;
+  for (double v : n) {
+    rounds.push_back(3 * std::log2(v) + 1);
+  }
+  const LinearFit fit =
+      fit_against(n, rounds, [](double v) { return std::log2(v); });
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+}
+
+// ---- Paper bounds --------------------------------------------------------------
+
+TEST(Binomial, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(binomial_mean(100, 0.25), 25.0);
+  EXPECT_DOUBLE_EQ(binomial_variance(100, 0.5), 25.0);
+}
+
+TEST(Chernoff, BoundIsMonotoneInDeviation) {
+  const double loose = chernoff_deviation_bound(1000, 0.5, 10);
+  const double tight = chernoff_deviation_bound(1000, 0.5, 100);
+  EXPECT_GT(loose, tight);
+  EXPECT_LE(loose, 1.0);
+  EXPECT_GT(tight, 0.0);
+}
+
+TEST(Chernoff, MatchesClosedForm) {
+  // exp(-x² / (2 m p (1-p))) with m=100, p=0.5, x=10: exp(-2).
+  EXPECT_NEAR(chernoff_deviation_bound(100, 0.5, 10), std::exp(-2.0), 1e-12);
+}
+
+TEST(PaperBounds, Lemma4ShrinksWithDepth) {
+  const double at_root = lemma4_contention_bound(1024, 0, 1.0);
+  const double deep = lemma4_contention_bound(1024, 8, 1.0);
+  EXPECT_GT(at_root, deep);
+  EXPECT_NEAR(at_root, std::sqrt(1024.0 * 10.0), 1e-9);
+}
+
+TEST(PaperBounds, Lemma6IsPolylog) {
+  EXPECT_NEAR(lemma6_contention_bound(1024, 1.0), 100.0, 1e-9);
+  EXPECT_NEAR(lemma6_contention_bound(65536, 2.0), 4 * 256.0, 1e-9);
+}
+
+// ---- Table ----------------------------------------------------------------------
+
+TEST(Table, AlignsAndPrints) {
+  Table table({"algo", "n", "rounds"});
+  table.add_row({"bil", "1024", "9"});
+  table.add_row({"halving", "1024", "21"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("halving"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table empty({}), ContractViolation);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_int(12345), "12345");
+}
+
+}  // namespace
+}  // namespace bil::stats

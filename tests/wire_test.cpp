@@ -1,0 +1,198 @@
+// Unit tests for the wire serialization module: round-trips, varint edge
+// cases, and bounds-checked decoding of malformed buffers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace bil::wire {
+namespace {
+
+TEST(Wire, FixedWidthRoundTrip) {
+  Writer writer;
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFULL);
+  const Buffer buffer = std::move(writer).take();
+  EXPECT_EQ(buffer.size(), 1u + 2u + 4u + 8u);
+
+  Reader reader(buffer);
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Writer writer;
+  writer.u32(0x01020304);
+  const Buffer buffer = std::move(writer).take();
+  EXPECT_EQ(std::to_integer<int>(buffer[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(buffer[3]), 0x01);
+}
+
+TEST(Wire, VarintRoundTripEdgeValues) {
+  const std::vector<std::uint64_t> values = {
+      0,   1,    127,  128,   129,   16383, 16384,
+      1ULL << 32, (1ULL << 56) - 1, std::numeric_limits<std::uint64_t>::max()};
+  Writer writer;
+  for (std::uint64_t v : values) {
+    writer.varint(v);
+  }
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(reader.varint(), v);
+  }
+  reader.expect_done();
+}
+
+TEST(Wire, VarintSizes) {
+  const auto encoded_size = [](std::uint64_t v) {
+    Writer writer;
+    writer.varint(v);
+    return std::move(writer).take().size();
+  };
+  EXPECT_EQ(encoded_size(0), 1u);
+  EXPECT_EQ(encoded_size(127), 1u);
+  EXPECT_EQ(encoded_size(128), 2u);
+  EXPECT_EQ(encoded_size(16383), 2u);
+  EXPECT_EQ(encoded_size(16384), 3u);
+  EXPECT_EQ(encoded_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Wire, VarintRejectsOverflow) {
+  // 10 continuation bytes with a final byte > 1 overflows 64 bits.
+  Buffer buffer(10, std::byte{0xFF});
+  buffer[9] = std::byte{0x02};
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.varint(), WireError);
+}
+
+TEST(Wire, VarintRejectsUnterminated) {
+  Buffer buffer(11, std::byte{0x80});
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.varint(), WireError);
+}
+
+TEST(Wire, BooleanRoundTripAndValidation) {
+  Writer writer;
+  writer.boolean(true);
+  writer.boolean(false);
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  EXPECT_TRUE(reader.boolean());
+  EXPECT_FALSE(reader.boolean());
+
+  const Buffer bad{std::byte{2}};
+  Reader bad_reader(bad);
+  EXPECT_THROW((void)bad_reader.boolean(), WireError);
+}
+
+TEST(Wire, StringRoundTrip) {
+  Writer writer;
+  writer.str("hello");
+  writer.str("");
+  writer.str(std::string(1000, 'x'));
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_EQ(reader.str(), std::string(1000, 'x'));
+  reader.expect_done();
+}
+
+TEST(Wire, BytesLengthPrefixChecked) {
+  // Length prefix says 100 bytes but only 3 follow.
+  Writer writer;
+  writer.varint(100);
+  writer.u8(1);
+  writer.u8(2);
+  writer.u8(3);
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.bytes(), WireError);
+}
+
+TEST(Wire, UnderflowThrows) {
+  const Buffer buffer{std::byte{1}};
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.u32(), WireError);
+}
+
+TEST(Wire, ExpectDoneCatchesTrailingBytes) {
+  Writer writer;
+  writer.u8(1);
+  writer.u8(2);
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  (void)reader.u8();
+  EXPECT_THROW(reader.expect_done(), WireError);
+  (void)reader.u8();
+  EXPECT_NO_THROW(reader.expect_done());
+}
+
+TEST(Wire, SeqRoundTrip) {
+  const std::vector<std::uint64_t> values = {5, 10, 1ULL << 40};
+  Writer writer;
+  writer.seq(values,
+             [](Writer& w, std::uint64_t v) { w.varint(v); });
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  const auto decoded =
+      reader.seq([](Reader& r) -> std::uint64_t { return r.varint(); });
+  EXPECT_EQ(decoded, values);
+  reader.expect_done();
+}
+
+TEST(Wire, SeqRejectsHostileCount) {
+  // A count far larger than the buffer must fail before allocating.
+  Writer writer;
+  writer.varint(1ULL << 40);
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  EXPECT_THROW(
+      (void)reader.seq([](Reader& r) -> std::uint64_t { return r.varint(); }),
+      WireError);
+}
+
+TEST(Wire, EmptySeq) {
+  Writer writer;
+  writer.seq(std::vector<std::uint64_t>{},
+             [](Writer& w, std::uint64_t v) { w.varint(v); });
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  EXPECT_TRUE(
+      reader.seq([](Reader& r) -> std::uint64_t { return r.varint(); })
+          .empty());
+}
+
+TEST(Wire, RawAndBytes) {
+  const Buffer payload{std::byte{9}, std::byte{8}, std::byte{7}};
+  Writer writer;
+  writer.bytes(payload);
+  writer.raw(payload);
+  const Buffer buffer = std::move(writer).take();
+  Reader reader(buffer);
+  const auto prefixed = reader.bytes();
+  ASSERT_EQ(prefixed.size(), 3u);
+  EXPECT_EQ(std::to_integer<int>(prefixed[0]), 9);
+  EXPECT_EQ(reader.remaining(), 3u);
+}
+
+TEST(Wire, WriterReserveDoesNotAffectContents) {
+  Writer small;
+  Writer reserved(1024);
+  small.u64(42);
+  reserved.u64(42);
+  EXPECT_EQ(std::move(small).take(), std::move(reserved).take());
+}
+
+}  // namespace
+}  // namespace bil::wire

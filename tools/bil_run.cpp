@@ -1,0 +1,143 @@
+// bil_run — command-line front end for the renaming simulator.
+//
+//   $ bil_run --algorithm=bil --n=256 --seeds=10 --adversary=oblivious
+//   $ bil_run --algorithm=halving --n=1024 --csv
+//   $ bil_run --n=8 --trace          # watch every round of a tiny run
+//
+// Prints one row per seed (rounds, crashes, traffic) plus a summary row;
+// --csv switches to machine-readable output, --trace dumps the engine's
+// event log for the first seed.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "sim/trace.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/contract.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace bil;
+
+harness::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "bil") return harness::Algorithm::kBallsIntoLeaves;
+  if (name == "early") return harness::Algorithm::kEarlyTerminating;
+  if (name == "rank") return harness::Algorithm::kRankDescent;
+  if (name == "halving") return harness::Algorithm::kHalving;
+  if (name == "gossip") return harness::Algorithm::kGossip;
+  if (name == "bins") return harness::Algorithm::kNaiveBins;
+  BIL_REQUIRE(false, "unknown --algorithm '" + name +
+                         "' (expected bil|early|rank|halving|gossip|bins)");
+  return harness::Algorithm::kBallsIntoLeaves;
+}
+
+harness::AdversaryKind parse_adversary(const std::string& name) {
+  if (name == "none") return harness::AdversaryKind::kNone;
+  if (name == "oblivious") return harness::AdversaryKind::kOblivious;
+  if (name == "burst") return harness::AdversaryKind::kBurst;
+  if (name == "sandwich") return harness::AdversaryKind::kSandwich;
+  if (name == "eager") return harness::AdversaryKind::kEager;
+  if (name == "targeted-winner") {
+    return harness::AdversaryKind::kTargetedWinner;
+  }
+  if (name == "targeted-announcer") {
+    return harness::AdversaryKind::kTargetedAnnouncer;
+  }
+  BIL_REQUIRE(false,
+              "unknown --adversary '" + name +
+                  "' (expected none|oblivious|burst|sandwich|eager|"
+                  "targeted-winner|targeted-announcer)");
+  return harness::AdversaryKind::kNone;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algorithm = "bil";
+  std::uint64_t n = 64;
+  std::uint64_t seeds = 5;
+  std::uint64_t seed_base = 1;
+  std::string adversary = "none";
+  std::uint64_t crashes = 0;
+  std::uint64_t burst_round = 1;
+  bool eager_decide = false;
+  bool csv = false;
+  bool trace = false;
+
+  FlagSet flags("bil_run",
+                "run the Balls-into-Leaves renaming simulator (PODC 2014)");
+  flags.add_string("algorithm", &algorithm,
+                   "bil|early|rank|halving|gossip|bins");
+  flags.add_uint("n", &n, "number of processes (= names)");
+  flags.add_uint("seeds", &seeds, "number of independent runs");
+  flags.add_uint("seed-base", &seed_base, "first seed");
+  flags.add_string("adversary", &adversary,
+                   "none|oblivious|burst|sandwich|eager|targeted-winner|"
+                   "targeted-announcer");
+  flags.add_uint("crashes", &crashes, "crash budget t (and planned count)");
+  flags.add_uint("burst-round", &burst_round, "round for --adversary=burst");
+  flags.add_bool("eager-decide", &eager_decide,
+                 "decide at leaf arrival instead of at global completion");
+  flags.add_bool("csv", &csv, "machine-readable output");
+  flags.add_bool("trace", &trace, "dump the first run's event trace");
+
+  try {
+    if (!flags.parse(argc - 1, argv + 1)) {
+      std::cout << flags.usage();
+      return 0;
+    }
+
+    harness::RunConfig config;
+    config.algorithm = parse_algorithm(algorithm);
+    config.n = static_cast<std::uint32_t>(n);
+    config.termination = eager_decide ? core::TerminationMode::kEagerLeaf
+                                      : core::TerminationMode::kGlobal;
+    config.adversary = harness::AdversarySpec{
+        .kind = parse_adversary(adversary),
+        .crashes = static_cast<std::uint32_t>(crashes),
+        .when = static_cast<sim::RoundNumber>(burst_round),
+        .per_round = 2};
+
+    sim::TextTrace text_trace;
+    if (trace) {
+      config.trace = &text_trace;
+      std::cout << "(trace of seed " << seed_base
+                << "; --trace forces a single run)\n\n";
+    }
+
+    stats::Table table({"seed", "rounds", "crashes", "messages", "bytes"});
+    std::vector<double> all_rounds;
+    for (std::uint64_t s = 0; s < (trace ? 1 : seeds); ++s) {
+      config.seed = seed_base + s;
+      const harness::RunSummary summary = harness::run_renaming(config);
+      if (trace) {
+        text_trace.dump(std::cout);
+        std::cout << '\n';
+      }
+      table.add_row({stats::fmt_int(config.seed),
+                     stats::fmt_int(summary.rounds),
+                     stats::fmt_int(summary.crashes),
+                     stats::fmt_int(summary.messages_delivered),
+                     stats::fmt_int(summary.bytes_delivered)});
+      all_rounds.push_back(static_cast<double>(summary.rounds));
+    }
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      std::cout << to_string(config.algorithm) << ", n=" << n
+                << ", adversary=" << adversary << " (t=" << crashes << ")\n\n";
+      table.print(std::cout);
+      const stats::Summary summary = stats::summarize(all_rounds);
+      std::cout << "\nrounds: mean " << stats::fmt_fixed(summary.mean, 2)
+                << ", median " << stats::fmt_fixed(summary.median, 1)
+                << ", max " << stats::fmt_fixed(summary.max, 0) << "\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n\n" << flags.usage();
+    return 1;
+  }
+}
