@@ -6,8 +6,13 @@
 // round counts against the failure-free baseline. The paper's argument: a
 // crash only ever *increases* the slack available to the surviving balls,
 // so the adversary gains at most the stale-entry purge phases.
+//
+// The whole strategy matrix is one ExperimentSpec — the adversary axis of
+// the grid — executed by api::SweepRunner in a single sharded sweep per
+// termination mode.
 #include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -53,26 +58,27 @@ void adversary_table(core::TerminationMode termination) {
        {.kind = harness::AdversaryKind::kTargetedAnnouncer, .crashes = n / 2,
         .per_round = 2, .subset = sim::SubsetPolicy::kAlternating}},
   };
+
+  api::ExperimentSpec spec;
+  spec.algorithms = {harness::Algorithm::kBallsIntoLeaves};
+  spec.n_values = {n};
+  spec.adversaries.clear();
+  for (const Row& row : rows) {
+    spec.adversaries.push_back(row.spec);
+  }
+  spec.seeds = kSeeds;
+  spec.termination = termination;
+  spec.backend = api::BackendKind::kEngine;
+  const api::SweepResult result = bench::sweep(spec);
+
   stats::Table table(
       {"adversary", "mean rounds", "p99", "max", "mean crashes"});
-  for (const Row& row : rows) {
-    harness::RunConfig config;
-    config.n = n;
-    config.termination = termination;
-    config.adversary = row.spec;
-    std::vector<double> rounds;
-    double crashes = 0;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      config.seed = seed;
-      const auto summary = harness::run_renaming(config);
-      rounds.push_back(static_cast<double>(summary.rounds));
-      crashes += summary.crashes;
-    }
-    const stats::Summary summary = stats::summarize(rounds);
-    table.add_row({row.name, stats::fmt_fixed(summary.mean, 1),
-                   stats::fmt_fixed(summary.p99, 1),
-                   stats::fmt_fixed(summary.max, 0),
-                   stats::fmt_fixed(crashes / kSeeds, 1)});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const api::CellSummary& cell = result.cells[i];  // grid order = row order
+    table.add_row({rows[i].name, stats::fmt_fixed(cell.rounds.mean, 1),
+                   stats::fmt_fixed(cell.rounds.p99, 1),
+                   stats::fmt_fixed(cell.rounds.max, 0),
+                   stats::fmt_fixed(cell.crashes.mean, 1)});
   }
   std::cout << "\nBalls-into-Leaves, n=" << n << ", termination mode: "
             << to_string(termination) << " (" << kSeeds << " seeds)\n\n";

@@ -9,12 +9,15 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/sweep.h"
 #include "harness/runner.h"
 #include "stats/fit.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "util/contract.h"
 #include "util/math.h"
 
 namespace bil::bench {
@@ -29,6 +32,10 @@ inline void print_banner(const std::string& experiment,
 
 /// Mean rounds over `seeds` runs of one configuration (each run is
 /// internally validated for the renaming properties).
+///
+/// Transitional helper for the benches not yet migrated to bil::api — new
+/// code should build an api::ExperimentSpec and use sweep() / sweep_cell()
+/// below instead.
 inline stats::Summary rounds_summary(harness::RunConfig config,
                                      std::uint32_t seeds,
                                      std::uint64_t seed_base = 1) {
@@ -40,6 +47,20 @@ inline stats::Summary rounds_summary(harness::RunConfig config,
         static_cast<double>(harness::run_renaming(config).rounds));
   }
   return stats::summarize(rounds);
+}
+
+/// Executes a spec through the experiment API (validated runs, sharded over
+/// a thread pool, deterministic in the spec).
+inline api::SweepResult sweep(api::ExperimentSpec spec) {
+  return api::SweepRunner(std::move(spec)).run();
+}
+
+/// Single-cell convenience: runs the spec and returns its one cell summary.
+inline api::CellSummary sweep_cell(api::ExperimentSpec spec) {
+  api::SweepResult result = sweep(std::move(spec));
+  BIL_REQUIRE(result.cells.size() == 1,
+              "sweep_cell needs a spec that expands to exactly one cell");
+  return std::move(result.cells.front());
 }
 
 /// Prints the two competing complexity-model fits for a rounds-vs-x series

@@ -6,10 +6,15 @@
 // payloads are O(log n) bits (endpoint-encoded candidate paths); gossip's
 // grow to Θ(n log n) bits (the whole id set), which is the hidden constant
 // behind its "simple" linear-round approach.
+//
+// Both tables are grid sweeps through api::SweepRunner with keep_runs, so
+// the per-run traffic records (including max payload size) come back
+// structured instead of being re-derived per row.
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
+#include "api/registry.h"
 #include "bench_common.h"
 
 namespace {
@@ -17,36 +22,36 @@ namespace {
 using namespace bil;
 
 void traffic_table() {
-  const std::vector<harness::Algorithm> algorithms = {
+  api::ExperimentSpec spec;
+  spec.algorithms = {
       harness::Algorithm::kBallsIntoLeaves,
       harness::Algorithm::kEarlyTerminating,
       harness::Algorithm::kHalving,
       harness::Algorithm::kNaiveBins,
       harness::Algorithm::kGossip,
   };
+  spec.n_values = {64, 256};
+  spec.seeds = 1;
+  spec.backend = api::BackendKind::kEngine;  // traffic needs real messages
+  spec.keep_runs = true;
+  const api::SweepResult result = bench::sweep(spec);
+
   stats::Table table({"algorithm", "n", "rounds", "msgs/proc/round",
                       "bytes/proc/round", "max payload B", "total MB"});
-  for (harness::Algorithm algorithm : algorithms) {
-    for (std::uint32_t n : {64u, 256u}) {
-      harness::RunConfig config;
-      config.algorithm = algorithm;
-      config.n = n;
-      config.seed = 1;
-      const auto summary = harness::run_renaming(config);
-      const double rounds = summary.total_rounds;
-      const double per_proc_round_msgs =
-          static_cast<double>(summary.messages_delivered) / rounds / n;
-      const double per_proc_round_bytes =
-          static_cast<double>(summary.bytes_delivered) / rounds / n;
-      table.add_row(
-          {to_string(algorithm), stats::fmt_int(n),
-           stats::fmt_int(summary.rounds),
-           stats::fmt_fixed(per_proc_round_msgs, 1),
-           stats::fmt_fixed(per_proc_round_bytes, 1),
-           stats::fmt_int(summary.raw.metrics.max_payload_bytes),
-           stats::fmt_fixed(
-               static_cast<double>(summary.bytes_delivered) / 1e6, 2)});
-    }
+  for (const api::CellSummary& cell : result.cells) {
+    const api::RunRecord& run = cell.runs.front();
+    const double rounds = run.total_rounds;
+    const double n = cell.config.n;
+    table.add_row(
+        {api::algorithm_info(cell.config.algorithm).name,
+         stats::fmt_int(cell.config.n), stats::fmt_int(run.rounds),
+         stats::fmt_fixed(
+             static_cast<double>(run.messages_delivered) / rounds / n, 1),
+         stats::fmt_fixed(
+             static_cast<double>(run.bytes_delivered) / rounds / n, 1),
+         stats::fmt_int(run.max_payload_bytes),
+         stats::fmt_fixed(static_cast<double>(run.bytes_delivered) / 1e6,
+                          2)});
   }
   std::cout << '\n';
   table.print(std::cout);
@@ -54,20 +59,30 @@ void traffic_table() {
 
 void payload_growth() {
   // BiL payload size must grow like log n (varint-coded node ids), not n.
+  const std::vector<std::uint32_t> sizes = {16, 64, 256, 512};
+
+  api::ExperimentSpec spec;
+  spec.n_values = sizes;
+  spec.seeds = 1;
+  spec.seed_base = 2;
+  spec.backend = api::BackendKind::kEngine;
+  spec.keep_runs = true;
+
+  spec.algorithms = {harness::Algorithm::kBallsIntoLeaves};
+  const api::SweepResult bil_result = bench::sweep(spec);
+
+  spec.algorithms = {harness::Algorithm::kGossip};
+  // Cap gossip's rounds via a small t: traffic shape is visible already.
+  spec.gossip_t = 4;
+  const api::SweepResult gossip_result = bench::sweep(spec);
+
   stats::Table table({"n", "BiL max payload B", "gossip max payload B"});
-  for (std::uint32_t n : {16u, 64u, 256u, 512u}) {
-    harness::RunConfig config;
-    config.n = n;
-    config.seed = 2;
-    const auto bil_run = harness::run_renaming(config);
-    config.algorithm = harness::Algorithm::kGossip;
-    // Cap gossip's rounds via a small t: traffic shape is visible already.
-    config.gossip_t = 4;
-    const auto gossip_run = harness::run_renaming(config);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
     table.add_row(
-        {stats::fmt_int(n),
-         stats::fmt_int(bil_run.raw.metrics.max_payload_bytes),
-         stats::fmt_int(gossip_run.raw.metrics.max_payload_bytes)});
+        {stats::fmt_int(sizes[i]),
+         stats::fmt_int(bil_result.cells[i].runs.front().max_payload_bytes),
+         stats::fmt_int(
+             gossip_result.cells[i].runs.front().max_payload_bytes)});
   }
   std::cout << "\npayload growth with n (gossip capped at t=4 rounds; its "
                "payload is the full known-id set)\n\n";

@@ -1,11 +1,12 @@
 // E1 — Theorem 2: Balls-into-Leaves terminates in O(log log n) rounds w.h.p.
 //
-// Two sweeps:
-//   (a) fast single-view simulator, n = 2^4 .. 2^18, failure-free — the
+// Two sweeps, both expressed as one ExperimentSpec each and executed by the
+// api::SweepRunner thread pool:
+//   (a) fast single-view backend, n = 2^4 .. 2^18, failure-free — the
 //       regime of the paper's §5 analysis ("without crashes, local views
 //       are always identical"); 30 seeds per size;
-//   (b) full message-passing engine, n = 2^4 .. 2^10, as a cross-check that
-//       the fast numbers are the real protocol's numbers.
+//   (b) full message-passing engine backend, n = 2^4 .. 2^10, as a
+//       cross-check that the fast numbers are the real protocol's numbers.
 //
 // Expected shape: mean rounds grows by ~0-1 per doubling-of-exponent, the
 // log2(log2 n) model fits with a clearly better R^2 than log2(n), and the
@@ -16,55 +17,56 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/fast_sim.h"
 
 namespace {
 
+using namespace bil;
+
 void fast_sweep() {
-  using namespace bil;
   constexpr std::uint32_t kSeeds = 30;
-  stats::Table table({"n", "mean rounds", "median", "p99", "max", "phases(mean)"});
+  api::ExperimentSpec spec;
+  spec.n_values.clear();
+  for (std::uint32_t exp = 4; exp <= 18; ++exp) {
+    spec.n_values.push_back(1u << exp);
+  }
+  spec.seeds = kSeeds;
+  spec.backend = api::BackendKind::kFastSim;
+  const api::SweepResult result = bench::sweep(spec);
+
+  stats::Table table(
+      {"n", "mean rounds", "median", "p99", "max", "phases(mean)"});
   std::vector<double> n_values;
   std::vector<double> means;
-  for (std::uint32_t exp = 4; exp <= 18; ++exp) {
-    const std::uint32_t n = 1u << exp;
-    std::vector<double> rounds;
-    double phase_total = 0;
-    for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
-      core::FastSimOptions options;
-      options.n = n;
-      options.seed = seed;
-      const auto result = core::run_fast_sim(options);
-      rounds.push_back(static_cast<double>(result.rounds()));
-      phase_total += result.phases;
-    }
-    const stats::Summary summary = stats::summarize(rounds);
-    table.add_row({stats::fmt_int(n), stats::fmt_fixed(summary.mean, 2),
-                   stats::fmt_fixed(summary.median, 1),
-                   stats::fmt_fixed(summary.p99, 1),
-                   stats::fmt_fixed(summary.max, 0),
-                   stats::fmt_fixed(phase_total / kSeeds, 2)});
-    n_values.push_back(n);
-    means.push_back(summary.mean);
+  for (const api::CellSummary& cell : result.cells) {
+    // rounds = 1 init round + 2 per phase, so phases = (rounds - 1) / 2.
+    table.add_row({stats::fmt_int(cell.config.n),
+                   stats::fmt_fixed(cell.rounds.mean, 2),
+                   stats::fmt_fixed(cell.rounds.median, 1),
+                   stats::fmt_fixed(cell.rounds.p99, 1),
+                   stats::fmt_fixed(cell.rounds.max, 0),
+                   stats::fmt_fixed((cell.rounds.mean - 1) / 2, 2)});
+    n_values.push_back(cell.config.n);
+    means.push_back(cell.rounds.mean);
   }
   std::cout << "\n(a) fast single-view sweep, failure-free, " << kSeeds
             << " seeds per n\n\n";
   table.print(std::cout);
   std::cout << '\n';
-  bil::bench::print_model_fits(n_values, means);
+  bench::print_model_fits(n_values, means);
 }
 
 void engine_sweep() {
-  using namespace bil;
   stats::Table table({"n", "mean rounds", "max", "seeds"});
   for (std::uint32_t exp = 4; exp <= 10; ++exp) {
     const std::uint32_t n = 1u << exp;
-    const std::uint32_t seeds = n <= 256 ? 10u : 5u;
-    harness::RunConfig config;
-    config.n = n;
-    const stats::Summary summary = bench::rounds_summary(config, seeds);
-    table.add_row({stats::fmt_int(n), stats::fmt_fixed(summary.mean, 2),
-                   stats::fmt_fixed(summary.max, 0), stats::fmt_int(seeds)});
+    api::ExperimentSpec spec;
+    spec.n_values = {n};
+    spec.seeds = n <= 256 ? 10u : 5u;
+    spec.backend = api::BackendKind::kEngine;
+    const api::CellSummary cell = bench::sweep_cell(spec);
+    table.add_row({stats::fmt_int(n), stats::fmt_fixed(cell.rounds.mean, 2),
+                   stats::fmt_fixed(cell.rounds.max, 0),
+                   stats::fmt_int(spec.seeds)});
   }
   std::cout << "\n(b) full message-passing engine cross-check, failure-free\n\n";
   table.print(std::cout);

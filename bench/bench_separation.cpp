@@ -12,58 +12,79 @@
 //                       phase, Θ(log n)-flavoured phase count)
 //   gossip              flooding agreement on the id set: t+1 = n rounds
 //
-// Part (a): failure-free rounds vs n (fast sim for tree algorithms; engine
-// for naive-bins/gossip at engine scale, exact formula beyond).
+// Part (a): failure-free rounds vs n (fast-sim backend for tree algorithms;
+// engine backend for naive-bins at engine scale, exact formula beyond).
 // Part (b): the same under each algorithm's harshest implemented adversary,
-// at engine scale.
+// at engine scale. All measurements flow through api::SweepRunner.
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <vector>
 
+#include "api/registry.h"
 #include "bench_common.h"
-#include "core/fast_sim.h"
 
 namespace {
 
 using namespace bil;
 
-double fast_mean_rounds(core::PathPolicy policy, std::uint32_t n,
-                        std::uint32_t seeds) {
-  double total = 0;
-  for (std::uint32_t seed = 1; seed <= seeds; ++seed) {
-    core::FastSimOptions options;
-    options.n = n;
-    options.seed = seed;
-    options.policy = policy;
-    total += core::run_fast_sim(options).rounds();
+std::vector<std::uint32_t> tree_sizes() {
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t exp = 4; exp <= 16; exp += 2) {
+    sizes.push_back(1u << exp);
   }
-  return total / seeds;
+  return sizes;
 }
 
 void fault_free_table() {
   constexpr std::uint32_t kSeeds = 15;
-  stats::Table table(
-      {"n", "balls-into-leaves", "halving", "rank-descent", "naive-bins",
-       "gossip"});
-  for (std::uint32_t exp = 4; exp <= 16; exp += 2) {
-    const std::uint32_t n = 1u << exp;
-    const double bil =
-        fast_mean_rounds(core::PathPolicy::kRandomWeighted, n, kSeeds);
-    const double halving =
-        fast_mean_rounds(core::PathPolicy::kHalvingSplit, n, 1);
-    const double rank =
-        fast_mean_rounds(core::PathPolicy::kRankedSlack, n, 1);
-    std::string bins = "-";
+  const std::vector<std::uint32_t> sizes = tree_sizes();
+
+  // Randomized BiL needs many seeds; the deterministic baselines need one.
+  api::ExperimentSpec bil_spec;
+  bil_spec.algorithms = {harness::Algorithm::kBallsIntoLeaves};
+  bil_spec.n_values = sizes;
+  bil_spec.seeds = kSeeds;
+  bil_spec.backend = api::BackendKind::kFastSim;
+
+  api::ExperimentSpec det_spec;
+  det_spec.algorithms = {harness::Algorithm::kHalving,
+                         harness::Algorithm::kRankDescent};
+  det_spec.n_values = sizes;
+  det_spec.seeds = 1;
+  det_spec.backend = api::BackendKind::kFastSim;
+
+  api::ExperimentSpec bins_spec;
+  bins_spec.algorithms = {harness::Algorithm::kNaiveBins};
+  bins_spec.n_values.clear();
+  for (std::uint32_t n : sizes) {
     if (n <= 512) {
-      harness::RunConfig config;
-      config.algorithm = harness::Algorithm::kNaiveBins;
-      config.n = n;
-      bins = stats::fmt_fixed(
-          bil::bench::rounds_summary(config, kSeeds).mean, 1);
+      bins_spec.n_values.push_back(n);  // engine scale only
     }
-    table.add_row({stats::fmt_int(n), stats::fmt_fixed(bil, 1),
-                   stats::fmt_fixed(halving, 0), stats::fmt_fixed(rank, 0),
-                   bins, stats::fmt_int(n) /* gossip: exactly t+1 = n */});
+  }
+  bins_spec.seeds = kSeeds;
+  bins_spec.backend = api::BackendKind::kEngine;
+
+  // Mean rounds per (algorithm, n), keyed for table assembly.
+  std::map<std::pair<harness::Algorithm, std::uint32_t>, double> means;
+  for (const api::ExperimentSpec& spec : {bil_spec, det_spec, bins_spec}) {
+    for (const api::CellSummary& cell : bench::sweep(spec).cells) {
+      means[{cell.config.algorithm, cell.config.n}] = cell.rounds.mean;
+    }
+  }
+
+  stats::Table table({"n", "balls-into-leaves", "halving", "rank-descent",
+                      "naive-bins", "gossip"});
+  for (std::uint32_t n : sizes) {
+    const auto bins = means.find({harness::Algorithm::kNaiveBins, n});
+    table.add_row(
+        {stats::fmt_int(n),
+         stats::fmt_fixed(means.at({harness::Algorithm::kBallsIntoLeaves, n}),
+                          1),
+         stats::fmt_fixed(means.at({harness::Algorithm::kHalving, n}), 0),
+         stats::fmt_fixed(means.at({harness::Algorithm::kRankDescent, n}), 0),
+         bins == means.end() ? "-" : stats::fmt_fixed(bins->second, 1),
+         stats::fmt_int(n) /* gossip: exactly t+1 = n */});
   }
   std::cout << "\n(a) failure-free rounds vs n (naive-bins measured up to "
                "n=512 on the engine; gossip is exactly n by construction)\n\n";
@@ -109,15 +130,20 @@ void adversarial_table() {
         .when = 0,
         .per_round = 4}},
   };
+  // Each row pairs one algorithm with its own adversary, so the grid is a
+  // list of single-cell specs rather than one cross product.
   for (const Row& row : rows) {
-    harness::RunConfig config;
-    config.algorithm = row.algorithm;
-    config.n = n;
-    config.adversary = row.adversary;
-    const stats::Summary summary = bench::rounds_summary(config, kSeeds);
-    table.add_row({to_string(row.algorithm), to_string(row.adversary.kind),
-                   stats::fmt_fixed(summary.mean, 1),
-                   stats::fmt_fixed(summary.max, 0)});
+    api::ExperimentSpec spec;
+    spec.algorithms = {row.algorithm};
+    spec.n_values = {n};
+    spec.adversaries = {row.adversary};
+    spec.seeds = kSeeds;
+    spec.backend = api::BackendKind::kEngine;
+    const api::CellSummary cell = bench::sweep_cell(spec);
+    table.add_row({api::algorithm_info(row.algorithm).name,
+                   api::adversary_info(row.adversary.kind).name,
+                   stats::fmt_fixed(cell.rounds.mean, 1),
+                   stats::fmt_fixed(cell.rounds.max, 0)});
   }
   std::cout << "\n(b) adversarial rounds at n=" << n << ", " << kSeeds
             << " seeds\n\n";

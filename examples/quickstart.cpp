@@ -2,56 +2,67 @@
 //
 //   $ ./quickstart
 //
-// Demonstrates the one-call harness API (harness::run_renaming) and how to
-// read the result: who decided which name, in how many rounds, at what
-// message cost.
+// Demonstrates the experiment API (bil::api): describe what you want to run
+// as an ExperimentSpec, hand it to a SweepRunner, and read the aggregated
+// SweepResult. Every run is validated for the three renaming properties
+// (termination, validity, uniqueness) before its numbers are reported.
 #include <iostream>
 
-#include "harness/runner.h"
+#include "api/sweep.h"
 
 int main() {
   using namespace bil;
 
-  // Configure a run: 16 processes, Balls-into-Leaves, no failures.
-  harness::RunConfig config;
-  config.algorithm = harness::Algorithm::kBallsIntoLeaves;
-  config.n = 16;
-  config.seed = 2024;
+  // Describe the experiment: 16 processes, Balls-into-Leaves, no failures,
+  // one run. keep_runs retains per-run records (decided names included).
+  api::ExperimentSpec spec;
+  spec.algorithms = {harness::Algorithm::kBallsIntoLeaves};
+  spec.n_values = {16};
+  spec.seeds = 1;
+  spec.seed_base = 2024;
+  spec.keep_runs = true;
 
-  // Execute. The harness validates termination, validity and uniqueness
-  // before returning (it throws if any renaming property were violated).
-  const harness::RunSummary summary = harness::run_renaming(config);
+  // Execute. One spec can be a whole grid (algorithms × sizes × adversaries
+  // × seeds, sharded over a thread pool); here it is a single cell.
+  const api::SweepResult result = api::SweepRunner(spec).run();
+  const api::CellSummary& cell = result.cells.front();
+  const api::RunRecord& run = cell.runs.front();
 
-  std::cout << "Balls-into-Leaves, n = " << config.n << "\n"
-            << "rounds until everyone decided: " << summary.rounds
-            << "  (1 init round + " << (summary.rounds - 1) / 2
+  std::cout << "Balls-into-Leaves, n = " << cell.config.n << "\n"
+            << "rounds until everyone decided: " << run.rounds
+            << "  (1 init round + " << (run.rounds - 1) / 2
             << " two-round phases)\n"
-            << "messages delivered: " << summary.messages_delivered
-            << ", bytes: " << summary.bytes_delivered << "\n\n";
+            << "messages delivered: " << run.messages_delivered
+            << ", bytes: " << run.bytes_delivered << "\n\n";
 
   std::cout << "process -> name\n";
-  for (std::size_t id = 0; id < summary.raw.outcomes.size(); ++id) {
-    const auto& outcome = summary.raw.outcomes[id];
-    std::cout << "  p" << id << " (label " << id << ") -> " << outcome.name
-              << "  (decided in round " << outcome.decide_round << ")\n";
+  for (std::size_t id = 0; id < run.names.size(); ++id) {
+    std::cout << "  p" << id << " (label " << id << ") -> " << run.names[id]
+              << "\n";
   }
 
-  // The same run, attacked: crash half the processes mid-broadcast while
-  // they announce their first candidate paths.
-  config.adversary =
+  // The same experiment, attacked: crash half the processes mid-broadcast
+  // while they announce their first candidate paths — and this time over 20
+  // seeds, because with an adversary the interesting number is statistical.
+  spec.adversaries = {
       harness::AdversarySpec{.kind = harness::AdversaryKind::kBurst,
                              .crashes = 8,
                              .when = 1,
-                             .subset = sim::SubsetPolicy::kRandomHalf};
-  const harness::RunSummary attacked = harness::run_renaming(config);
-  std::cout << "\nsame run with 8 crashes during round 1: survivors decided "
-            << "by round " << attacked.rounds << "\n";
-  std::cout << "surviving names:";
-  for (const auto& outcome : attacked.raw.outcomes) {
-    if (!outcome.crashed) {
-      std::cout << ' ' << outcome.name;
+                             .subset = sim::SubsetPolicy::kRandomHalf}};
+  spec.seeds = 20;
+  const api::SweepResult attacked = api::SweepRunner(spec).run();
+  const api::CellSummary& attacked_cell = attacked.cells.front();
+  std::cout << "\nsame experiment with 8 crashes during round 1, "
+            << attacked_cell.rounds.count << " seeds: survivors decided by "
+            << "round " << attacked_cell.rounds.mean << " on average (max "
+            << attacked_cell.rounds.max << ")\n";
+  std::cout << "surviving names of seed " << attacked_cell.runs.front().seed
+            << ":";
+  for (const std::uint64_t name : attacked_cell.runs.front().names) {
+    if (name != 0) {  // 0 marks a crashed process
+      std::cout << ' ' << name;
     }
   }
-  std::cout << "  (all distinct, all in 1.." << config.n << ")\n";
+  std::cout << "  (all distinct, all in 1.." << cell.config.n << ")\n";
   return 0;
 }

@@ -1,0 +1,137 @@
+#include "api/backend.h"
+
+#include "api/registry.h"
+#include "core/fast_sim.h"
+#include "util/contract.h"
+
+namespace bil::api {
+
+const char* to_string(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kAuto:
+      return "auto";
+    case BackendKind::kEngine:
+      return "engine";
+    case BackendKind::kFastSim:
+      return "fast-sim";
+  }
+  return "unknown";
+}
+
+RunRecord EngineBackend::run(const CellConfig& cell,
+                             std::uint64_t seed) const {
+  harness::RunConfig config;
+  config.algorithm = cell.algorithm;
+  config.n = cell.n;
+  config.seed = seed;
+  config.adversary = cell.adversary;
+  config.termination = cell.termination;
+  config.max_rounds = cell.max_rounds;
+  config.gossip_t = cell.gossip_t;
+  config.label_offset = cell.label_offset;
+  config.label_stride = cell.label_stride;
+  config.trace = trace_;
+  const harness::RunSummary summary = harness::run_renaming(config);
+
+  RunRecord record;
+  record.seed = seed;
+  record.rounds = summary.rounds;
+  record.total_rounds = summary.total_rounds;
+  record.crashes = summary.crashes;
+  record.messages_delivered = summary.messages_delivered;
+  record.bytes_delivered = summary.bytes_delivered;
+  record.max_payload_bytes = summary.raw.metrics.max_payload_bytes;
+  record.names.reserve(summary.raw.outcomes.size());
+  for (const sim::ProcessOutcome& outcome : summary.raw.outcomes) {
+    record.names.push_back(outcome.crashed ? 0 : outcome.name);
+  }
+  return record;
+}
+
+RunRecord FastSimBackend::run(const CellConfig& cell,
+                              std::uint64_t seed) const {
+  BIL_REQUIRE(fast_sim_compatible(cell),
+              "FastSimBackend cannot execute this cell exactly (it needs a "
+              "tree-based algorithm, no adversary, global termination, no "
+              "round cap and default labelling) — use the engine backend");
+  core::FastSimOptions options;
+  options.n = cell.n;
+  options.seed = seed;
+  options.policy = algorithm_info(cell.algorithm).policy;
+  const core::FastSimResult result = core::run_fast_sim(options);
+  BIL_ENSURE(result.completed, "fast sim hit its phase cap");
+
+  // The engine path validates every run (harness::run_renaming); hold this
+  // path to the same standard. Crash-free and tight, so the names must be a
+  // permutation of 1..n.
+  std::vector<bool> used(cell.n + 1, false);
+  for (std::uint64_t name : result.names) {
+    BIL_ENSURE(name >= 1 && name <= cell.n, "fast sim name out of range");
+    BIL_ENSURE(!used[name], "fast sim assigned a duplicate name");
+    used[name] = true;
+  }
+
+  RunRecord record;
+  record.seed = seed;
+  record.rounds = result.rounds();
+  record.total_rounds = result.rounds();
+  record.names = result.names;
+  return record;
+}
+
+bool fast_sim_compatible(const CellConfig& cell) {
+  return algorithm_info(cell.algorithm).fast_sim_capable &&
+         cell.adversary.kind == harness::AdversaryKind::kNone &&
+         cell.termination == core::TerminationMode::kGlobal &&
+         cell.max_rounds == 0 && cell.label_offset == 0 &&
+         cell.label_stride == 1;
+}
+
+BackendKind select_backend(const CellConfig& cell) {
+  switch (cell.backend) {
+    case BackendKind::kEngine:
+      return BackendKind::kEngine;
+    case BackendKind::kFastSim:
+      BIL_REQUIRE(fast_sim_compatible(cell),
+                  "cell requests the fast-sim backend but is incompatible "
+                  "with it (tree-based algorithm, no adversary, global "
+                  "termination, no round cap, default labels required)");
+      return BackendKind::kFastSim;
+    case BackendKind::kAuto:
+      return fast_sim_compatible(cell) && cell.n >= kAutoFastSimMinN
+                 ? BackendKind::kFastSim
+                 : BackendKind::kEngine;
+  }
+  return BackendKind::kEngine;
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kEngine:
+      return std::make_unique<EngineBackend>();
+    case BackendKind::kFastSim:
+      return std::make_unique<FastSimBackend>();
+    case BackendKind::kAuto:
+      break;
+  }
+  BIL_REQUIRE(false, "make_backend needs a concrete kind (engine|fast-sim), "
+                     "not auto — resolve with select_backend first");
+  return nullptr;
+}
+
+BackendKind parse_backend(std::string_view name) {
+  if (name == "auto") {
+    return BackendKind::kAuto;
+  }
+  if (name == "engine") {
+    return BackendKind::kEngine;
+  }
+  if (name == "fast-sim" || name == "fastsim") {
+    return BackendKind::kFastSim;
+  }
+  BIL_REQUIRE(false, "unknown backend '" + std::string(name) +
+                         "' (expected auto|engine|fast-sim)");
+  return BackendKind::kAuto;
+}
+
+}  // namespace bil::api

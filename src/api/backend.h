@@ -1,0 +1,99 @@
+// Backend abstraction: one interface, two executors.
+//
+// EngineBackend drives the full synchronous message-passing engine through
+// harness::run_renaming — exact semantics, every adversary, O(n²) messages
+// per round, practical to n ≈ 2¹¹. FastSimBackend drives the single-view
+// simulator (core::run_fast_sim) — bit-identical to the engine on
+// crash-free tree-based runs (asserted by tests), O(n log n) per phase,
+// practical past n = 2¹⁸. select_backend picks per cell so that large
+// crash-free sweeps transparently take the fast path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/experiment.h"
+#include "sim/trace.h"
+
+namespace bil::api {
+
+/// One run's outcome, backend-independent.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  /// Rounds until the last correct process decided (the paper's metric).
+  std::uint32_t rounds = 0;
+  /// Rounds until the protocol fully wound down.
+  std::uint32_t total_rounds = 0;
+  std::uint32_t crashes = 0;
+  /// Traffic; zero for FastSimBackend (no materialized messages).
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t max_payload_bytes = 0;
+  /// Decided name per process id (0 for crashed processes).
+  std::vector<std::uint64_t> names;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  /// Which kind this is (kEngine or kFastSim; never kAuto).
+  [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
+  /// Executes one validated run. Throws ContractViolation if the cell is
+  /// outside this backend's domain or the run violates the renaming
+  /// properties.
+  [[nodiscard]] virtual RunRecord run(const CellConfig& cell,
+                                      std::uint64_t seed) const = 0;
+};
+
+/// Full message-passing engine via harness::run_renaming. Handles every
+/// algorithm and adversary. `trace` (optional, not owned) receives the
+/// engine event log of each run — single-run debugging only.
+class EngineBackend final : public Backend {
+ public:
+  explicit EngineBackend(sim::TraceSink* trace = nullptr) : trace_(trace) {}
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kEngine;
+  }
+  [[nodiscard]] RunRecord run(const CellConfig& cell,
+                              std::uint64_t seed) const override;
+
+ private:
+  sim::TraceSink* trace_;
+};
+
+/// Single-view fast simulator. Crash-free, tree-based, default-labelled
+/// cells only (the regime where it is provably exact); fast_sim_compatible
+/// tells you in advance.
+class FastSimBackend final : public Backend {
+ public:
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kFastSim;
+  }
+  [[nodiscard]] RunRecord run(const CellConfig& cell,
+                              std::uint64_t seed) const override;
+};
+
+/// True when FastSimBackend can execute the cell exactly: a tree-based
+/// algorithm, no adversary, global termination, no round cap, default
+/// labelling.
+[[nodiscard]] bool fast_sim_compatible(const CellConfig& cell);
+
+/// Cells at least this large take the fast path under BackendKind::kAuto
+/// (below it the engine is already fast and also measures traffic).
+inline constexpr std::uint32_t kAutoFastSimMinN = 2048;
+
+/// Resolves a cell's backend request to a concrete kind. kAuto picks
+/// kFastSim for compatible cells with n >= kAutoFastSimMinN; explicit
+/// kFastSim on an incompatible cell throws.
+[[nodiscard]] BackendKind select_backend(const CellConfig& cell);
+
+/// Instantiates a backend of the given concrete kind (kAuto not allowed).
+[[nodiscard]] std::unique_ptr<Backend> make_backend(BackendKind kind);
+
+/// Parses "auto" | "engine" | "fast-sim" (throws with a diagnostic listing
+/// the accepted names otherwise).
+[[nodiscard]] BackendKind parse_backend(std::string_view name);
+
+}  // namespace bil::api

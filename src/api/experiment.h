@@ -1,0 +1,87 @@
+// ExperimentSpec: one value describing a full sweep grid.
+//
+// The paper's claims are statistical — O(log log n) rounds w.h.p.,
+// separation from the Θ(log n) baselines — so every meaningful experiment is
+// a grid: algorithms × sizes × adversaries × many seeds. A spec names that
+// grid once; SweepRunner (sweep.h) expands it into cells, shards the
+// (cell, seed) pairs across a thread pool, and aggregates. Benches, examples
+// and the CLI all build specs instead of hand-rolling seed loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace bil::api {
+
+/// Which executor runs a cell (see backend.h).
+enum class BackendKind : std::uint8_t {
+  /// Per cell: the fast single-view simulator when the cell is crash-free,
+  /// tree-based and large; the message-passing engine otherwise.
+  kAuto,
+  /// Always the full message-passing engine (exact, O(n²) traffic/round).
+  kEngine,
+  /// Always the single-view fast simulator (O(n log n)/phase; crash-free
+  /// tree-based cells only — selecting it for an incompatible cell throws).
+  kFastSim,
+};
+
+[[nodiscard]] const char* to_string(BackendKind kind) noexcept;
+
+/// How run seeds are assigned to cells.
+enum class SeedMode : std::uint8_t {
+  /// Every cell runs seeds seed_base, seed_base+1, ... — common random
+  /// numbers across cells, the right default for paired comparisons
+  /// (algorithm A vs B on identical coin flips).
+  kShared,
+  /// Each cell gets an independent stream derived from
+  /// (seed_base, kSeedDomainSweep, cell_index) — decorrelated cells for
+  /// when grid points must not share randomness.
+  kPerCell,
+};
+
+/// One fully-resolved grid point: everything needed to execute runs, minus
+/// the seed.
+struct CellConfig {
+  harness::Algorithm algorithm = harness::Algorithm::kBallsIntoLeaves;
+  std::uint32_t n = 0;
+  harness::AdversarySpec adversary;
+  core::TerminationMode termination = core::TerminationMode::kGlobal;
+  /// 0 = engine default (16n + 64).
+  sim::RoundNumber max_rounds = 0;
+  std::uint32_t gossip_t = harness::kWaitFree;
+  sim::Label label_offset = 0;
+  sim::Label label_stride = 1;
+  BackendKind backend = BackendKind::kAuto;
+};
+
+/// The experiment grid. Cells are the cross product
+/// algorithms × n_values × adversaries, each run `seeds` times.
+struct ExperimentSpec {
+  std::vector<harness::Algorithm> algorithms = {
+      harness::Algorithm::kBallsIntoLeaves};
+  std::vector<std::uint32_t> n_values = {64};
+  /// Default: the single failure-free cell.
+  std::vector<harness::AdversarySpec> adversaries = {{}};
+
+  /// Independent runs per cell.
+  std::uint32_t seeds = 5;
+  std::uint64_t seed_base = 1;
+  SeedMode seed_mode = SeedMode::kShared;
+
+  BackendKind backend = BackendKind::kAuto;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::uint32_t threads = 0;
+  /// Retain per-run records (seed, rounds, names, ...) in the result, not
+  /// just per-cell summaries.
+  bool keep_runs = false;
+
+  core::TerminationMode termination = core::TerminationMode::kGlobal;
+  sim::RoundNumber max_rounds = 0;
+  std::uint32_t gossip_t = harness::kWaitFree;
+  sim::Label label_offset = 0;
+  sim::Label label_stride = 1;
+};
+
+}  // namespace bil::api

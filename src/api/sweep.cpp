@@ -1,0 +1,273 @@
+#include "api/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <iterator>
+#include <limits>
+#include <locale>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "api/registry.h"
+#include "core/balls_into_leaves.h"
+#include "core/seeds.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace bil::api {
+
+namespace {
+
+/// Lossless, locale-independent double for JSON: max_digits10 shortest-ish
+/// form so equal values always serialize to equal text.
+void write_double(std::ostream& os, double value) {
+  std::ostringstream buffer;
+  buffer.imbue(std::locale::classic());
+  buffer.precision(std::numeric_limits<double>::max_digits10);
+  buffer << value;
+  os << buffer.str();
+}
+
+void write_summary(std::ostream& os, const stats::Summary& summary) {
+  os << "{\"count\":" << summary.count << ",\"mean\":";
+  write_double(os, summary.mean);
+  os << ",\"stddev\":";
+  write_double(os, summary.stddev);
+  os << ",\"min\":";
+  write_double(os, summary.min);
+  os << ",\"median\":";
+  write_double(os, summary.median);
+  os << ",\"p99\":";
+  write_double(os, summary.p99);
+  os << ",\"max\":";
+  write_double(os, summary.max);
+  os << '}';
+}
+
+void write_cell(std::ostream& os, const CellSummary& cell) {
+  const harness::AdversarySpec& adversary = cell.config.adversary;
+  os << "{\"algorithm\":\"" << algorithm_info(cell.config.algorithm).name
+     << "\",\"n\":" << cell.config.n << ",\"adversary\":{\"kind\":\""
+     << adversary_info(adversary.kind).name
+     << "\",\"crashes\":" << adversary.crashes << ",\"when\":" << adversary.when
+     << ",\"horizon\":" << adversary.horizon
+     << ",\"per_round\":" << adversary.per_round << "},\"termination\":\""
+     << core::to_string(cell.config.termination) << "\",\"backend\":\""
+     << to_string(cell.backend_used) << "\",\"metrics\":{\"rounds\":";
+  write_summary(os, cell.rounds);
+  os << ",\"total_rounds\":";
+  write_summary(os, cell.total_rounds);
+  os << ",\"crashes\":";
+  write_summary(os, cell.crashes);
+  os << ",\"messages\":";
+  write_summary(os, cell.messages);
+  os << ",\"bytes\":";
+  write_summary(os, cell.bytes);
+  os << '}';
+  if (!cell.runs.empty()) {
+    os << ",\"runs\":[";
+    for (std::size_t i = 0; i < cell.runs.size(); ++i) {
+      const RunRecord& record = cell.runs[i];
+      os << (i == 0 ? "" : ",") << "{\"seed\":" << record.seed
+         << ",\"rounds\":" << record.rounds
+         << ",\"total_rounds\":" << record.total_rounds
+         << ",\"crashes\":" << record.crashes
+         << ",\"messages\":" << record.messages_delivered
+         << ",\"bytes\":" << record.bytes_delivered
+         << ",\"max_payload_bytes\":" << record.max_payload_bytes << '}';
+    }
+    os << ']';
+  }
+  os << '}';
+}
+
+stats::Summary summarize_field(const RunRecord* records, std::size_t count,
+                               double (*field)(const RunRecord&)) {
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(field(records[i]));
+  }
+  return stats::summarize(values);
+}
+
+}  // namespace
+
+void SweepResult::write_json(std::ostream& os) const {
+  os << "{\"total_runs\":" << total_runs << ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    write_cell(os, cells[i]);
+  }
+  os << "]}\n";
+}
+
+std::uint64_t cell_run_seed(const ExperimentSpec& spec, std::size_t cell_index,
+                            std::uint32_t seed_index) {
+  switch (spec.seed_mode) {
+    case SeedMode::kShared:
+      return spec.seed_base + seed_index;
+    case SeedMode::kPerCell:
+      return derive_seed(
+          spec.seed_base, core::kSeedDomainSweep,
+          (static_cast<std::uint64_t>(cell_index) << 32) | seed_index);
+  }
+  return spec.seed_base + seed_index;
+}
+
+std::vector<CellConfig> SweepRunner::expand(const ExperimentSpec& spec) {
+  BIL_REQUIRE(!spec.algorithms.empty(), "spec lists no algorithms");
+  BIL_REQUIRE(!spec.n_values.empty(), "spec lists no n values");
+  BIL_REQUIRE(!spec.adversaries.empty(),
+              "spec lists no adversaries (use the default {} for "
+              "failure-free)");
+  BIL_REQUIRE(spec.seeds >= 1, "spec needs at least one seed per cell");
+  std::vector<CellConfig> cells;
+  cells.reserve(spec.algorithms.size() * spec.n_values.size() *
+                spec.adversaries.size());
+  for (harness::Algorithm algorithm : spec.algorithms) {
+    for (std::uint32_t n : spec.n_values) {
+      for (const harness::AdversarySpec& adversary : spec.adversaries) {
+        CellConfig cell;
+        cell.algorithm = algorithm;
+        cell.n = n;
+        cell.adversary = adversary;
+        cell.termination = spec.termination;
+        cell.max_rounds = spec.max_rounds;
+        cell.gossip_t = spec.gossip_t;
+        cell.label_offset = spec.label_offset;
+        cell.label_stride = spec.label_stride;
+        cell.backend = spec.backend;
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+SweepRunner::SweepRunner(ExperimentSpec spec)
+    : spec_(std::move(spec)), cells_(expand(spec_)) {
+  // Resolve every cell's backend up front so incompatible explicit requests
+  // fail at construction, before any run executes.
+  for (const CellConfig& cell : cells_) {
+    (void)select_backend(cell);
+  }
+}
+
+SweepResult SweepRunner::run() const {
+  const std::size_t num_cells = cells_.size();
+  const std::size_t runs_per_cell = spec_.seeds;
+  const std::size_t total = num_cells * runs_per_cell;
+
+  const std::unique_ptr<Backend> engine = make_backend(BackendKind::kEngine);
+  const std::unique_ptr<Backend> fast_sim =
+      make_backend(BackendKind::kFastSim);
+  std::vector<BackendKind> resolved(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    resolved[c] = select_backend(cells_[c]);
+  }
+
+  // Every (cell, seed) pair writes into its preassigned slot; the pool's
+  // scheduling order cannot affect the result.
+  std::vector<RunRecord> records(total);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= total) {
+        return;
+      }
+      const std::size_t cell_index = index / runs_per_cell;
+      const auto seed_index = static_cast<std::uint32_t>(index % runs_per_cell);
+      try {
+        const Backend& backend = resolved[cell_index] == BackendKind::kFastSim
+                                     ? *fast_sim
+                                     : *engine;
+        records[index] = backend.run(
+            cells_[cell_index], cell_run_seed(spec_, cell_index, seed_index));
+        if (!spec_.keep_runs) {
+          // Summaries never read the names; don't hold n values per run
+          // (a 2^18-ball sweep would otherwise retain them all until
+          // aggregation).
+          records[index].names = {};
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        next.store(total);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  std::size_t threads = spec_.threads != 0
+                            ? spec_.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, total);
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  SweepResult result;
+  result.total_runs = total;
+  result.cells.reserve(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    // Summaries fold over the cell's slot range in place; the records
+    // themselves (with their size-n names vectors) are only moved into the
+    // result when the spec asked for them.
+    const RunRecord* cell_records = records.data() + c * runs_per_cell;
+    CellSummary summary;
+    summary.config = cells_[c];
+    summary.backend_used = resolved[c];
+    summary.rounds = summarize_field(
+        cell_records, runs_per_cell,
+        [](const RunRecord& r) { return static_cast<double>(r.rounds); });
+    summary.total_rounds = summarize_field(
+        cell_records, runs_per_cell,
+        [](const RunRecord& r) { return static_cast<double>(r.total_rounds); });
+    summary.crashes = summarize_field(
+        cell_records, runs_per_cell,
+        [](const RunRecord& r) { return static_cast<double>(r.crashes); });
+    summary.messages = summarize_field(
+        cell_records, runs_per_cell, [](const RunRecord& r) {
+          return static_cast<double>(r.messages_delivered);
+        });
+    summary.bytes = summarize_field(
+        cell_records, runs_per_cell, [](const RunRecord& r) {
+          return static_cast<double>(r.bytes_delivered);
+        });
+    if (spec_.keep_runs) {
+      const auto begin =
+          records.begin() + static_cast<std::ptrdiff_t>(c * runs_per_cell);
+      summary.runs.assign(
+          std::make_move_iterator(begin),
+          std::make_move_iterator(
+              begin + static_cast<std::ptrdiff_t>(runs_per_cell)));
+    }
+    result.cells.push_back(std::move(summary));
+  }
+  return result;
+}
+
+}  // namespace bil::api

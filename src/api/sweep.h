@@ -1,0 +1,75 @@
+// SweepRunner: expand an ExperimentSpec into cells, shard (cell, seed)
+// pairs across a thread pool, aggregate into a SweepResult.
+//
+// Determinism contract: the result is a pure function of the spec — every
+// run's seed is derived from (seed_base, seed_mode, cell index, seed index)
+// alone, each run writes into a preassigned slot, and summaries are folded
+// in slot order after the pool joins. The same spec run with 1 thread and
+// with 8 threads therefore produces bit-identical SweepResults (asserted by
+// tests/api_sweep_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "api/backend.h"
+#include "api/experiment.h"
+#include "stats/summary.h"
+
+namespace bil::api {
+
+/// Aggregated outcome of one grid cell.
+struct CellSummary {
+  CellConfig config;
+  /// The concrete backend that executed this cell's runs.
+  BackendKind backend_used = BackendKind::kEngine;
+  stats::Summary rounds;
+  stats::Summary total_rounds;
+  stats::Summary crashes;
+  stats::Summary messages;
+  stats::Summary bytes;
+  /// Per-run records in seed-index order; populated only when the spec set
+  /// keep_runs.
+  std::vector<RunRecord> runs;
+};
+
+struct SweepResult {
+  /// Cells in grid order: algorithms-major, then n_values, then adversaries.
+  std::vector<CellSummary> cells;
+  std::uint64_t total_runs = 0;
+
+  /// Structured JSON serialization (stable field order; doubles written
+  /// round-trip lossless, so equal results serialize identically).
+  void write_json(std::ostream& os) const;
+};
+
+/// Derives the seed of run `seed_index` of cell `cell_index` under a spec.
+/// Exposed so tools can label single runs consistently with sweeps.
+[[nodiscard]] std::uint64_t cell_run_seed(const ExperimentSpec& spec,
+                                          std::size_t cell_index,
+                                          std::uint32_t seed_index);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(ExperimentSpec spec);
+
+  /// The spec's grid, in result order.
+  [[nodiscard]] const std::vector<CellConfig>& cells() const noexcept {
+    return cells_;
+  }
+
+  /// Executes the full grid. Thread-parallel per the spec; deterministic in
+  /// the spec regardless of thread count.
+  [[nodiscard]] SweepResult run() const;
+
+  /// Expands a spec into its grid without running it.
+  [[nodiscard]] static std::vector<CellConfig> expand(
+      const ExperimentSpec& spec);
+
+ private:
+  ExperimentSpec spec_;
+  std::vector<CellConfig> cells_;
+};
+
+}  // namespace bil::api

@@ -132,6 +132,9 @@ std::unique_ptr<sim::Adversary> make_adversary(
 RunSummary run_renaming(const RunConfig& config) {
   BIL_REQUIRE(config.n >= 1, "need at least one process");
   BIL_REQUIRE(config.label_stride >= 1, "labels must be strictly monotone");
+  BIL_REQUIRE(config.gossip_t == kWaitFree || config.gossip_t <= config.n - 1,
+              "gossip_t must be kWaitFree or a crash budget t <= n-1 (t < n: "
+              "at least one process survives)");
 
   const bool tree_based = config.algorithm == Algorithm::kBallsIntoLeaves ||
                           config.algorithm == Algorithm::kEarlyTerminating ||
@@ -153,9 +156,7 @@ RunSummary run_renaming(const RunConfig& config) {
     switch (config.algorithm) {
       case Algorithm::kGossip: {
         const std::uint32_t t =
-            config.gossip_t == static_cast<std::uint32_t>(-1)
-                ? config.n - 1
-                : config.gossip_t;
+            config.gossip_t == kWaitFree ? config.n - 1 : config.gossip_t;
         processes.push_back(std::make_unique<baselines::GossipRenamingProcess>(
             baselines::GossipRenamingProcess::Options{.label = label,
                                                       .max_crashes = t}));

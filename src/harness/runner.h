@@ -64,6 +64,10 @@ struct AdversarySpec {
   sim::SubsetPolicy subset = sim::SubsetPolicy::kRandomHalf;
 };
 
+/// Sentinel for RunConfig::gossip_t: resolve t to n-1 (tolerate every
+/// process but one crashing — the wait-free setting).
+inline constexpr std::uint32_t kWaitFree = static_cast<std::uint32_t>(-1);
+
 struct RunConfig {
   Algorithm algorithm = Algorithm::kBallsIntoLeaves;
   std::uint32_t n = 0;
@@ -75,8 +79,9 @@ struct RunConfig {
   bool observe = false;
   /// 0 = engine default (16n + 64).
   sim::RoundNumber max_rounds = 0;
-  /// Gossip's resilience parameter t; default (=n) means wait-free (n-1).
-  std::uint32_t gossip_t = static_cast<std::uint32_t>(-1);
+  /// Gossip's resilience parameter t; must be kWaitFree (resolved to n-1)
+  /// or at most n-1 — run_renaming rejects anything else.
+  std::uint32_t gossip_t = kWaitFree;
   /// Labels are label_offset + label_stride * id: monotone in the process
   /// id, as the paper's label-order arguments assume.
   sim::Label label_offset = 0;

@@ -65,6 +65,20 @@ TEST(Runner, RejectsZeroStride) {
   EXPECT_THROW((void)harness::run_renaming(config), ContractViolation);
 }
 
+TEST(Runner, GossipResilienceIsValidated) {
+  // gossip_t must be the kWaitFree sentinel (resolved to n-1) or an explicit
+  // t <= n-1; anything else is a config error, not a silent wait-free run.
+  RunConfig config;
+  config.algorithm = harness::Algorithm::kGossip;
+  config.n = 4;
+  EXPECT_EQ(config.gossip_t, harness::kWaitFree);  // default is wait-free
+  EXPECT_TRUE(harness::run_renaming(config).completed);
+  config.gossip_t = 2;
+  EXPECT_TRUE(harness::run_renaming(config).completed);
+  config.gossip_t = 4;  // t = n: nonsense (nobody could survive)
+  EXPECT_THROW((void)harness::run_renaming(config), ContractViolation);
+}
+
 TEST(Runner, ObserverSnapshotsArriveWhenRequested) {
   RunConfig config;
   config.n = 32;

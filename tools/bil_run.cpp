@@ -1,19 +1,26 @@
 // bil_run — command-line front end for the renaming simulator.
 //
 //   $ bil_run --algorithm=bil --n=256 --seeds=10 --adversary=oblivious
+//   $ bil_run --algorithm=bil,halving --n=256,1024,4096 --json
 //   $ bil_run --algorithm=halving --n=1024 --csv
 //   $ bil_run --n=8 --trace          # watch every round of a tiny run
+//   $ bil_run --list-algorithms
 //
-// Prints one row per seed (rounds, crashes, traffic) plus a summary row;
-// --csv switches to machine-readable output, --trace dumps the engine's
-// event log for the first seed.
+// A thin shell over bil::api: flags build an ExperimentSpec (comma-separated
+// values sweep a grid), SweepRunner executes it across a thread pool, and
+// the result prints as an aligned table, CSV, or JSON. Algorithm and
+// adversary names come from the api registry — the same tables that back
+// --list-algorithms / --list-adversaries.
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness/runner.h"
+#include "api/backend.h"
+#include "api/registry.h"
+#include "api/sweep.h"
 #include "sim/trace.h"
-#include "stats/summary.h"
 #include "stats/table.h"
 #include "util/contract.h"
 #include "util/flags.h"
@@ -22,118 +29,213 @@ namespace {
 
 using namespace bil;
 
-harness::Algorithm parse_algorithm(const std::string& name) {
-  if (name == "bil") return harness::Algorithm::kBallsIntoLeaves;
-  if (name == "early") return harness::Algorithm::kEarlyTerminating;
-  if (name == "rank") return harness::Algorithm::kRankDescent;
-  if (name == "halving") return harness::Algorithm::kHalving;
-  if (name == "gossip") return harness::Algorithm::kGossip;
-  if (name == "bins") return harness::Algorithm::kNaiveBins;
-  BIL_REQUIRE(false, "unknown --algorithm '" + name +
-                         "' (expected bil|early|rank|halving|gossip|bins)");
-  return harness::Algorithm::kBallsIntoLeaves;
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::istringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+  }
+  BIL_REQUIRE(!items.empty(), "expected a non-empty comma-separated list");
+  return items;
 }
 
-harness::AdversaryKind parse_adversary(const std::string& name) {
-  if (name == "none") return harness::AdversaryKind::kNone;
-  if (name == "oblivious") return harness::AdversaryKind::kOblivious;
-  if (name == "burst") return harness::AdversaryKind::kBurst;
-  if (name == "sandwich") return harness::AdversaryKind::kSandwich;
-  if (name == "eager") return harness::AdversaryKind::kEager;
-  if (name == "targeted-winner") {
-    return harness::AdversaryKind::kTargetedWinner;
+template <typename Info>
+void list_registry(std::ostream& os, const char* heading,
+                   const std::vector<Info>& registry) {
+  os << heading << '\n';
+  for (const Info& info : registry) {
+    os << "  " << info.name;
+    for (const std::string& alias : info.aliases) {
+      os << " (" << alias << ')';
+    }
+    os << "\n      " << info.description << '\n';
   }
-  if (name == "targeted-announcer") {
-    return harness::AdversaryKind::kTargetedAnnouncer;
+}
+
+/// Single traced run through the engine backend (--trace).
+void traced_run(const api::CellConfig& cell, std::uint64_t seed) {
+  sim::TextTrace text_trace;
+  const api::EngineBackend backend(&text_trace);
+  std::cout << "(trace of seed " << seed << "; --trace forces a single engine "
+            << "run)\n\n";
+  const api::RunRecord record = backend.run(cell, seed);
+  text_trace.dump(std::cout);
+  std::cout << "\nrounds: " << record.rounds
+            << ", crashes: " << record.crashes
+            << ", messages: " << record.messages_delivered
+            << ", bytes: " << record.bytes_delivered << '\n';
+}
+
+void print_cell_table(const api::SweepResult& result, bool csv) {
+  stats::Table table({"algorithm", "n", "adversary", "backend", "mean rounds",
+                      "median", "p99", "max", "mean msgs", "mean crashes"});
+  for (const api::CellSummary& cell : result.cells) {
+    table.add_row({api::algorithm_info(cell.config.algorithm).name,
+                   stats::fmt_int(cell.config.n),
+                   api::adversary_info(cell.config.adversary.kind).name,
+                   to_string(cell.backend_used),
+                   stats::fmt_fixed(cell.rounds.mean, 2),
+                   stats::fmt_fixed(cell.rounds.median, 1),
+                   stats::fmt_fixed(cell.rounds.p99, 1),
+                   stats::fmt_fixed(cell.rounds.max, 0),
+                   stats::fmt_fixed(cell.messages.mean, 0),
+                   stats::fmt_fixed(cell.crashes.mean, 1)});
   }
-  BIL_REQUIRE(false,
-              "unknown --adversary '" + name +
-                  "' (expected none|oblivious|burst|sandwich|eager|"
-                  "targeted-winner|targeted-announcer)");
-  return harness::AdversaryKind::kNone;
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+void print_run_table(const api::CellSummary& cell, bool csv) {
+  stats::Table table({"seed", "rounds", "crashes", "messages", "bytes"});
+  for (const api::RunRecord& record : cell.runs) {
+    table.add_row({stats::fmt_int(record.seed), stats::fmt_int(record.rounds),
+                   stats::fmt_int(record.crashes),
+                   stats::fmt_int(record.messages_delivered),
+                   stats::fmt_int(record.bytes_delivered)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nrounds: mean " << stats::fmt_fixed(cell.rounds.mean, 2)
+              << ", median " << stats::fmt_fixed(cell.rounds.median, 1)
+              << ", max " << stats::fmt_fixed(cell.rounds.max, 0) << "\n";
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string algorithm = "bil";
-  std::uint64_t n = 64;
+  std::string n_list = "64";
   std::uint64_t seeds = 5;
   std::uint64_t seed_base = 1;
   std::string adversary = "none";
   std::uint64_t crashes = 0;
   std::uint64_t burst_round = 1;
+  std::uint64_t per_round = 2;
+  std::string backend = "auto";
+  std::uint64_t threads = 0;
   bool eager_decide = false;
   bool csv = false;
+  bool json = false;
   bool trace = false;
+  bool list_algorithms = false;
+  bool list_adversaries = false;
 
   FlagSet flags("bil_run",
                 "run the Balls-into-Leaves renaming simulator (PODC 2014)");
   flags.add_string("algorithm", &algorithm,
-                   "bil|early|rank|halving|gossip|bins");
-  flags.add_uint("n", &n, "number of processes (= names)");
-  flags.add_uint("seeds", &seeds, "number of independent runs");
+                   "comma-separated list of " + api::algorithm_catalog());
+  flags.add_string("n", &n_list,
+                   "comma-separated list of process counts (= names)");
+  flags.add_uint("seeds", &seeds, "independent runs per grid cell");
   flags.add_uint("seed-base", &seed_base, "first seed");
-  flags.add_string("adversary", &adversary,
-                   "none|oblivious|burst|sandwich|eager|targeted-winner|"
-                   "targeted-announcer");
+  flags.add_string("adversary", &adversary, api::adversary_catalog());
   flags.add_uint("crashes", &crashes, "crash budget t (and planned count)");
   flags.add_uint("burst-round", &burst_round, "round for --adversary=burst");
+  flags.add_uint("per-round", &per_round,
+                 "victims per firing round (sandwich/eager/targeted)");
+  flags.add_string("backend", &backend,
+                   "auto|engine|fast-sim (auto: fast single-view simulator "
+                   "for large crash-free tree cells)");
+  flags.add_uint("threads", &threads, "sweep worker threads (0 = all cores)");
   flags.add_bool("eager-decide", &eager_decide,
                  "decide at leaf arrival instead of at global completion");
-  flags.add_bool("csv", &csv, "machine-readable output");
+  flags.add_bool("csv", &csv, "machine-readable table output");
+  flags.add_bool("json", &json, "structured SweepResult JSON output");
   flags.add_bool("trace", &trace, "dump the first run's event trace");
+  flags.add_bool("list-algorithms", &list_algorithms,
+                 "print the algorithm registry and exit");
+  flags.add_bool("list-adversaries", &list_adversaries,
+                 "print the adversary registry and exit");
 
   try {
     if (!flags.parse(argc - 1, argv + 1)) {
       std::cout << flags.usage();
       return 0;
     }
+    if (list_algorithms) {
+      list_registry(std::cout, "registered algorithms:",
+                    api::algorithm_registry());
+      return 0;
+    }
+    if (list_adversaries) {
+      list_registry(std::cout, "registered adversaries:",
+                    api::adversary_registry());
+      return 0;
+    }
 
-    harness::RunConfig config;
-    config.algorithm = parse_algorithm(algorithm);
-    config.n = static_cast<std::uint32_t>(n);
-    config.termination = eager_decide ? core::TerminationMode::kEagerLeaf
-                                      : core::TerminationMode::kGlobal;
-    config.adversary = harness::AdversarySpec{
-        .kind = parse_adversary(adversary),
-        .crashes = static_cast<std::uint32_t>(crashes),
-        .when = static_cast<sim::RoundNumber>(burst_round),
-        .per_round = 2};
+    api::ExperimentSpec spec;
+    spec.algorithms.clear();
+    for (const std::string& name : split_csv(algorithm)) {
+      spec.algorithms.push_back(api::parse_algorithm(name).algorithm);
+    }
+    spec.n_values.clear();
+    for (const std::string& value : split_csv(n_list)) {
+      BIL_REQUIRE(!value.empty() &&
+                      value.find_first_not_of("0123456789") == std::string::npos,
+                  "--n expects comma-separated integers, got '" + value + "'");
+      const std::uint64_t n = std::stoull(value);
+      BIL_REQUIRE(n >= 1 && n <= std::numeric_limits<std::uint32_t>::max(),
+                  "--n value '" + value + "' is out of range");
+      spec.n_values.push_back(static_cast<std::uint32_t>(n));
+    }
+    spec.adversaries = {api::parse_adversary(adversary).make(
+        api::AdversaryKnobs{
+            .crashes = static_cast<std::uint32_t>(crashes),
+            .when = static_cast<sim::RoundNumber>(burst_round),
+            .per_round = static_cast<std::uint32_t>(per_round)})};
+    BIL_REQUIRE(seeds >= 1 &&
+                    seeds <= std::numeric_limits<std::uint32_t>::max(),
+                "--seeds is out of range");
+    BIL_REQUIRE(threads <= std::numeric_limits<std::uint32_t>::max(),
+                "--threads is out of range");
+    spec.seeds = static_cast<std::uint32_t>(seeds);
+    spec.seed_base = seed_base;
+    spec.backend = api::parse_backend(backend);
+    spec.threads = static_cast<std::uint32_t>(threads);
+    spec.termination = eager_decide ? core::TerminationMode::kEagerLeaf
+                                    : core::TerminationMode::kGlobal;
+    // Per-seed rows are only printed for single-cell grids; don't retain
+    // per-run records (names vectors included) for multi-cell sweeps.
+    const bool single_cell =
+        spec.algorithms.size() * spec.n_values.size() == 1;
+    spec.keep_runs = !json && single_cell;
 
-    sim::TextTrace text_trace;
+    const api::SweepRunner runner(spec);
     if (trace) {
-      config.trace = &text_trace;
-      std::cout << "(trace of seed " << seed_base
-                << "; --trace forces a single run)\n\n";
+      traced_run(runner.cells().front(), seed_base);
+      return 0;
     }
+    const api::SweepResult result = runner.run();
 
-    stats::Table table({"seed", "rounds", "crashes", "messages", "bytes"});
-    std::vector<double> all_rounds;
-    for (std::uint64_t s = 0; s < (trace ? 1 : seeds); ++s) {
-      config.seed = seed_base + s;
-      const harness::RunSummary summary = harness::run_renaming(config);
-      if (trace) {
-        text_trace.dump(std::cout);
-        std::cout << '\n';
-      }
-      table.add_row({stats::fmt_int(config.seed),
-                     stats::fmt_int(summary.rounds),
-                     stats::fmt_int(summary.crashes),
-                     stats::fmt_int(summary.messages_delivered),
-                     stats::fmt_int(summary.bytes_delivered)});
-      all_rounds.push_back(static_cast<double>(summary.rounds));
+    if (json) {
+      result.write_json(std::cout);
+      return 0;
     }
-    if (csv) {
-      table.print_csv(std::cout);
+    if (result.cells.size() == 1) {
+      const api::CellSummary& cell = result.cells.front();
+      if (!csv) {
+        std::cout << api::algorithm_info(cell.config.algorithm).name
+                  << ", n=" << cell.config.n << ", adversary=" << adversary
+                  << " (t=" << crashes << "), backend="
+                  << to_string(cell.backend_used) << "\n\n";
+      }
+      print_run_table(cell, csv);
     } else {
-      std::cout << to_string(config.algorithm) << ", n=" << n
-                << ", adversary=" << adversary << " (t=" << crashes << ")\n\n";
-      table.print(std::cout);
-      const stats::Summary summary = stats::summarize(all_rounds);
-      std::cout << "\nrounds: mean " << stats::fmt_fixed(summary.mean, 2)
-                << ", median " << stats::fmt_fixed(summary.median, 1)
-                << ", max " << stats::fmt_fixed(summary.max, 0) << "\n";
+      if (!csv) {
+        std::cout << result.total_runs << " runs over "
+                  << result.cells.size() << " grid cells, " << seeds
+                  << " seeds each\n\n";
+      }
+      print_cell_table(result, csv);
     }
     return 0;
   } catch (const std::exception& error) {
