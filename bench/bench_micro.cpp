@@ -1,13 +1,23 @@
 // E11 — micro-benchmarks (google-benchmark): the building blocks' costs.
 // Not a paper claim; engineering data for users sizing simulations.
+//
+// `bench_micro --json` switches to the engine-throughput perf smoke: full
+// engine runs at n ∈ {256, 1024, 4096}, crash-free and under an adversary,
+// reported as rounds/sec and deliveries/sec in machine-readable JSON. CI
+// uploads this as an artifact so every engine change leaves a recorded
+// before/after trail (see docs/perf.md for the numbers this PR recorded).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "core/fast_sim.h"
 #include "core/messages.h"
 #include "core/policy.h"
+#include "harness/runner.h"
 #include "tree/local_view.h"
 #include "tree/shape.h"
 #include "util/rng.h"
@@ -102,6 +112,89 @@ void BM_OrderedBalls(benchmark::State& state) {
 }
 BENCHMARK(BM_OrderedBalls)->Range(1 << 8, 1 << 14);
 
+// ---- engine-throughput perf smoke (--json) ----------------------------------
+
+struct ThroughputScenario {
+  const char* name;
+  harness::AdversarySpec (*adversary)(std::uint32_t n);
+};
+
+harness::AdversarySpec no_adversary(std::uint32_t /*n*/) { return {}; }
+
+harness::AdversarySpec oblivious_adversary(std::uint32_t n) {
+  return harness::AdversarySpec{.kind = harness::AdversaryKind::kOblivious,
+                                .crashes = n / 16,
+                                .horizon = 8,
+                                .subset = sim::SubsetPolicy::kRandomHalf};
+}
+
+/// Executes `runs` full engine runs and reports aggregate throughput. Seeds
+/// are fixed so before/after numbers measure the same work.
+void emit_throughput_row(std::FILE* out, const ThroughputScenario& scenario,
+                         std::uint32_t n, std::uint32_t runs, bool last) {
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_deliveries = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    harness::RunConfig config;
+    config.algorithm = harness::Algorithm::kBallsIntoLeaves;
+    config.n = n;
+    config.seed = 1000 + i;
+    config.adversary = scenario.adversary(n);
+    const harness::RunSummary summary = harness::run_renaming(config);
+    total_rounds += summary.total_rounds;
+    total_deliveries += summary.messages_delivered;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const double seconds = elapsed.count();
+  std::fprintf(
+      out,
+      "    {\"scenario\":\"%s\",\"n\":%u,\"runs\":%u,\"rounds\":%llu,"
+      "\"deliveries\":%llu,\"seconds\":%.6f,\"rounds_per_sec\":%.1f,"
+      "\"deliveries_per_sec\":%.1f}%s\n",
+      scenario.name, n, runs,
+      static_cast<unsigned long long>(total_rounds),
+      static_cast<unsigned long long>(total_deliveries), seconds,
+      static_cast<double>(total_rounds) / seconds,
+      static_cast<double>(total_deliveries) / seconds, last ? "" : ",");
+}
+
+int run_json_mode() {
+  constexpr ThroughputScenario kScenarios[] = {
+      {"crash-free", &no_adversary},
+      {"oblivious-n16", &oblivious_adversary},
+  };
+  constexpr std::uint32_t kSizes[] = {256, 1024, 4096};
+  // Fewer repetitions at larger n: per-run delivery work grows ~n² while the
+  // smoke should stay under a couple of minutes even pre-optimization.
+  constexpr std::uint32_t kRuns[] = {10, 5, 2};
+  std::FILE* out = stdout;
+  std::fprintf(out, "{\n  \"engine_throughput\": [\n");
+  for (std::size_t s = 0; s < std::size(kScenarios); ++s) {
+    for (std::size_t i = 0; i < std::size(kSizes); ++i) {
+      const bool last =
+          s + 1 == std::size(kScenarios) && i + 1 == std::size(kSizes);
+      emit_throughput_row(out, kScenarios[s], kSizes[i], kRuns[i], last);
+    }
+  }
+  std::fprintf(out, "  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return run_json_mode();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,7 +2,8 @@
 //
 // EngineBackend drives the full synchronous message-passing engine through
 // harness::run_renaming — exact semantics, every adversary, O(n²) messages
-// per round, practical to n ≈ 2¹¹. FastSimBackend drives the single-view
+// per round, practical to n ≈ 2¹⁴ since the round-batched delivery fabric
+// (see docs/perf.md; ~2¹¹ before it). FastSimBackend drives the single-view
 // simulator (core::run_fast_sim) — bit-identical to the engine on
 // crash-free tree-based runs (asserted by tests), O(n log n) per phase,
 // practical past n = 2¹⁸. select_backend picks per cell so that large
@@ -27,10 +28,18 @@ struct RunRecord {
   /// Rounds until the protocol fully wound down.
   std::uint32_t total_rounds = 0;
   std::uint32_t crashes = 0;
-  /// Traffic; zero for FastSimBackend (no materialized messages).
+  /// Physical deliveries. Engine runs measure this; FastSim runs fill in
+  /// the analytically exact count for their (crash-free, all-broadcast)
+  /// domain — every round all n processes broadcast to all n alive
+  /// recipients, so deliveries = n² · total_rounds, bit-identical to what
+  /// the engine would have measured (asserted by tests/api_sweep_test.cpp).
   std::uint64_t messages_delivered = 0;
+  /// Payload traffic; meaningful only when bytes_measured.
   std::uint64_t bytes_delivered = 0;
   std::uint64_t max_payload_bytes = 0;
+  /// False for FastSimBackend runs: payloads are never materialized, so
+  /// byte counts are unknown (JSON writes null) rather than fake zeros.
+  bool bytes_measured = true;
   /// Decided name per process id (0 for crashed processes).
   std::vector<std::uint64_t> names;
 };
@@ -81,8 +90,12 @@ class FastSimBackend final : public Backend {
 [[nodiscard]] bool fast_sim_compatible(const CellConfig& cell);
 
 /// Cells at least this large take the fast path under BackendKind::kAuto
-/// (below it the engine is already fast and also measures traffic).
-inline constexpr std::uint32_t kAutoFastSimMinN = 2048;
+/// (below it the engine is already fast and also measures traffic). Tuned
+/// against the round-batched delivery fabric: an engine run at n = 2048 now
+/// costs what n = 1024 cost before it (~1 s), so the engine keeps measuring
+/// real traffic up to twice the previous size at the same wall-clock budget
+/// (measurements in docs/perf.md).
+inline constexpr std::uint32_t kAutoFastSimMinN = 4096;
 
 /// Resolves a cell's backend request to a concrete kind. kAuto picks
 /// kFastSim for compatible cells with n >= kAutoFastSimMinN; explicit

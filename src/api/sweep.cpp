@@ -64,7 +64,13 @@ void write_cell(std::ostream& os, const CellSummary& cell) {
   os << ",\"messages\":";
   write_summary(os, cell.messages);
   os << ",\"bytes\":";
-  write_summary(os, cell.bytes);
+  // Fast-sim cells never materialize payloads: byte counts are absent, not
+  // zero — mixed-backend sweep tables must not report fake zero traffic.
+  if (cell.backend_used == BackendKind::kFastSim) {
+    os << "null";
+  } else {
+    write_summary(os, cell.bytes);
+  }
   os << '}';
   if (!cell.runs.empty()) {
     os << ",\"runs\":[";
@@ -74,9 +80,14 @@ void write_cell(std::ostream& os, const CellSummary& cell) {
          << ",\"rounds\":" << record.rounds
          << ",\"total_rounds\":" << record.total_rounds
          << ",\"crashes\":" << record.crashes
-         << ",\"messages\":" << record.messages_delivered
-         << ",\"bytes\":" << record.bytes_delivered
-         << ",\"max_payload_bytes\":" << record.max_payload_bytes << '}';
+         << ",\"messages\":" << record.messages_delivered;
+      if (record.bytes_measured) {
+        os << ",\"bytes\":" << record.bytes_delivered
+           << ",\"max_payload_bytes\":" << record.max_payload_bytes;
+      } else {
+        os << ",\"bytes\":null,\"max_payload_bytes\":null";
+      }
+      os << '}';
     }
     os << ']';
   }

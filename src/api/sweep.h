@@ -27,7 +27,11 @@ struct CellSummary {
   stats::Summary rounds;
   stats::Summary total_rounds;
   stats::Summary crashes;
+  /// Physical deliveries; fast-sim cells report the analytically exact
+  /// logical count (see RunRecord::messages_delivered).
   stats::Summary messages;
+  /// Payload bytes; meaningless for fast-sim cells (payloads are never
+  /// materialized) — write_json emits null for them.
   stats::Summary bytes;
   /// Per-run records in seed-index order; populated only when the spec set
   /// keep_runs.

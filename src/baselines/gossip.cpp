@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "sim/decode_cache.h"
 #include "wire/wire.h"
 
 namespace bil::baselines {
@@ -34,13 +35,19 @@ void GossipRenamingProcess::on_send(sim::RoundNumber /*round*/,
 
 void GossipRenamingProcess::on_receive(sim::RoundNumber round,
                                        std::span<const sim::Envelope> inbox) {
+  // Gossip payloads carry up to n labels, so re-decoding per recipient was
+  // the dominant O(n³)-per-round cost; the round-scoped cache decodes each
+  // broadcast once and every other recipient walks the cached vector.
+  std::vector<sim::Label> scratch;
   for (const sim::Envelope& envelope : inbox) {
-    try {
-      for (sim::Label label : decode_known(envelope.bytes())) {
-        known_.insert(label);
-      }
-    } catch (const wire::WireError&) {
+    const std::vector<sim::Label>* labels =
+        sim::decode_cached(envelope, scratch, &decode_known);
+    if (labels == nullptr) {
       // Malformed traffic cannot arise from crash faults; skip defensively.
+      continue;
+    }
+    for (sim::Label label : *labels) {
+      known_.insert(label);
     }
   }
   if (round == options_.max_crashes) {  // rounds 0..t executed: t+1 rounds

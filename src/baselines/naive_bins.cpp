@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/decode_cache.h"
 #include "util/contract.h"
 #include "wire/wire.h"
 
@@ -81,20 +82,17 @@ void NaiveBinsProcess::on_receive(sim::RoundNumber /*round*/,
   std::vector<sim::Label> best_claimant(options_.num_bins, kNone);
   std::vector<bool> held(options_.num_bins, false);
   bool any_claim = false;
+  BinMsg scratch{};
   for (const sim::Envelope& envelope : inbox) {
-    try {
-      const BinMsg msg = decode_bin_msg(envelope.bytes());
-      if (msg.bin >= options_.num_bins) {
-        continue;
-      }
-      if (msg.type == BinMsgType::kHold) {
-        held[msg.bin] = true;
-      } else {
-        any_claim = true;
-        best_claimant[msg.bin] = std::min(best_claimant[msg.bin], msg.label);
-      }
-    } catch (const wire::WireError&) {
-      // skip
+    const BinMsg* msg = sim::decode_cached(envelope, scratch, &decode_bin_msg);
+    if (msg == nullptr || msg->bin >= options_.num_bins) {
+      continue;
+    }
+    if (msg->type == BinMsgType::kHold) {
+      held[msg->bin] = true;
+    } else {
+      any_claim = true;
+      best_claimant[msg->bin] = std::min(best_claimant[msg->bin], msg->label);
     }
   }
   // Rebuild the free list from this round's traffic only: bins whose holder

@@ -5,30 +5,36 @@
 #include <vector>
 
 #include "core/messages.h"
+#include "sim/decode_cache.h"
 #include "util/contract.h"
 
 namespace bil::core {
 
 namespace {
+template <typename T>
+using LabelIndex = std::unordered_map<sim::Label, T>;
+
 /// Decodes every envelope into a per-label map of messages of type T,
 /// keeping the first message per label and silently skipping malformed
 /// payloads or other message types. (Crash faults cannot forge traffic, so
 /// malformed input indicates a harness misconfiguration; skipping — which
 /// makes the sender look silent, i.e. crashed — is the conservative
-/// response.)
+/// response.) Decoding goes through the engine's round-scoped cache, so a
+/// broadcast payload is parsed once per round, not once per recipient; a
+/// pure function of the inbox contents, as sim::round_index requires.
 template <typename T>
-std::unordered_map<sim::Label, T> index_by_label(
-    std::span<const sim::Envelope> inbox) {
-  std::unordered_map<sim::Label, T> by_label;
+LabelIndex<T> index_by_label(std::span<const sim::Envelope> inbox) {
+  LabelIndex<T> by_label;
   by_label.reserve(inbox.size());
+  Message scratch;
   for (const sim::Envelope& envelope : inbox) {
-    try {
-      const Message message = decode_message(envelope.bytes());
-      if (const T* msg = std::get_if<T>(&message)) {
-        by_label.emplace(msg->label, *msg);
-      }
-    } catch (const wire::WireError&) {
-      // skip
+    const Message* message =
+        sim::decode_cached(envelope, scratch, &decode_message);
+    if (message == nullptr) {
+      continue;  // malformed — the sender looks silent
+    }
+    if (const T* msg = std::get_if<T>(message)) {
+      by_label.emplace(msg->label, *msg);
     }
   }
   return by_label;
@@ -140,18 +146,25 @@ std::vector<sim::Label> BallsIntoLeavesProcess::movement_order() const {
 
 void BallsIntoLeavesProcess::process_init(
     std::span<const sim::Envelope> inbox) {
-  std::vector<sim::Label> labels;
-  labels.reserve(inbox.size());
-  for (const sim::Envelope& envelope : inbox) {
-    try {
-      const Message message = decode_message(envelope.bytes());
-      if (const InitMsg* msg = std::get_if<InitMsg>(&message)) {
+  const auto collect_labels = [](std::span<const sim::Envelope> envelopes) {
+    std::vector<sim::Label> labels;
+    labels.reserve(envelopes.size());
+    Message decoded;
+    for (const sim::Envelope& envelope : envelopes) {
+      const Message* message =
+          sim::decode_cached(envelope, decoded, &decode_message);
+      if (message == nullptr) {
+        continue;
+      }
+      if (const InitMsg* msg = std::get_if<InitMsg>(message)) {
         labels.push_back(msg->label);
       }
-    } catch (const wire::WireError&) {
-      // skip
     }
-  }
+    return labels;
+  };
+  std::vector<sim::Label> scratch;
+  const std::vector<sim::Label>& labels =
+      *sim::round_index(inbox, scratch, collect_labels);
   view_.insert_all_at_root(labels);
   BIL_ENSURE(view_.contains(options_.label),
              "own init broadcast must loop back");
@@ -160,7 +173,11 @@ void BallsIntoLeavesProcess::process_init(
 
 void BallsIntoLeavesProcess::process_round1(
     std::span<const sim::Envelope> inbox) {
-  const auto paths = index_by_label<PathMsg>(inbox);
+  // In a crash-free round every recipient indexes the identical shared
+  // inbox; round_index builds the map once per round for all of them.
+  LabelIndex<PathMsg> scratch;
+  const LabelIndex<PathMsg>& paths =
+      *sim::round_index(inbox, scratch, &index_by_label<PathMsg>);
   // Lines 12–20: iterate a snapshot of the balls in <R order; move each ball
   // whose path arrived, remove (at its turn — the interleaving matters, see
   // the class comment) each ball that stayed silent.
@@ -194,7 +211,9 @@ void BallsIntoLeavesProcess::process_round1(
 
 void BallsIntoLeavesProcess::process_round2(
     std::span<const sim::Envelope> inbox) {
-  const auto positions = index_by_label<PositionMsg>(inbox);
+  LabelIndex<PositionMsg> scratch;
+  const LabelIndex<PositionMsg>& positions =
+      *sim::round_index(inbox, scratch, &index_by_label<PositionMsg>);
   // Lines 23–28, same snapshot-and-iterate structure as round 1.
   for (const sim::Label ball : movement_order()) {
     const auto it = positions.find(ball);

@@ -1,0 +1,154 @@
+// Round-scoped decode cache: each unique wire buffer is decoded once per
+// round, not once per recipient.
+//
+// A broadcast to n recipients shares one payload buffer (sim::Envelope holds
+// a shared_ptr), but every recipient used to re-parse it — Θ(n²) decodes per
+// round for a broadcast protocol. The engine owns one DecodeCache, clears it
+// at the start of each round's delivery, and stamps it into every Envelope it
+// delivers; protocol code funnels decoding through decode_cached(), which
+// turns the n-1 repeat decodes of a broadcast into pointer-keyed hash hits.
+//
+// Determinism argument (docs/perf.md has the long form): decoding is a pure
+// function of the payload bytes, and a buffer address is a stable identity
+// for those bytes within a round (payloads are immutable and outboxes keep
+// them alive until the next send phase). Caching therefore returns exactly
+// the value a fresh decode would return — recipients observe bit-identical
+// messages, cached or not. The cache is cleared before the first lookup of
+// each round, so a recycled allocation address can never alias a previous
+// round's entry.
+//
+// The cache is keyed by buffer address alone, so all users of one engine
+// must decode to the same type T — true by construction, since an engine
+// runs one protocol. Malformed buffers are remembered as null: the decode
+// failure (and its exception cost) is also paid once per buffer.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+#include "wire/wire.h"
+
+namespace bil::sim {
+
+class DecodeCache {
+ public:
+  /// Drops every entry. The engine calls this at the start of each round's
+  /// delivery, before any lookup against that round's payloads.
+  void begin_round() {
+    entries_.clear();
+    shared_data_ = nullptr;
+    shared_count_ = 0;
+    index_memo_.clear();
+  }
+
+  /// Registers the round's shared delivery plan — the one span every
+  /// unexceptional alive recipient receives. Only this exact span is
+  /// eligible for plan-level memoization (see get_or_build_shared): spans
+  /// assembled per recipient live in reused arenas whose addresses are not
+  /// stable identities.
+  void set_shared_inbox(const Envelope* data, std::size_t count) {
+    shared_data_ = data;
+    shared_count_ = count;
+  }
+
+  /// Returns the decoded form of `payload`, decoding on first sight and
+  /// serving hash hits afterwards. Returns nullptr for malformed payloads
+  /// (wire::WireError), also memoized. `decode` must be a pure function
+  /// span-of-bytes → T.
+  template <typename T, typename DecodeFn>
+  const T* get_or_decode(const std::shared_ptr<const wire::Buffer>& payload,
+                         DecodeFn&& decode) {
+    const auto [it, inserted] = entries_.try_emplace(payload.get());
+    if (inserted) {
+      try {
+        it->second = std::make_shared<const T>(
+            decode(std::span<const std::byte>(*payload)));
+      } catch (const wire::WireError&) {
+        // Remembered as malformed; the null entry makes the sender look
+        // silent to every recipient, exactly as an uncached decode would.
+      }
+    }
+    return static_cast<const T*>(it->second.get());
+  }
+
+  /// Memoizes a whole-inbox derived structure (e.g. a label → message
+  /// index) for the round's shared delivery plan. In a crash-free broadcast
+  /// round every recipient receives the identical span and would build an
+  /// identical structure; building it once per round instead of once per
+  /// recipient is the plan-level analogue of decode-once payloads. Returns
+  /// nullptr when `inbox` is not the registered shared span (the caller
+  /// builds fresh). `build` must be a pure function of the span contents —
+  /// the memoized object is then exactly what every recipient would have
+  /// built, so sharing it is observation-equivalent.
+  template <typename T, typename BuildFn>
+  const T* get_or_build_shared(std::span<const Envelope> inbox,
+                               BuildFn&& build) {
+    if (inbox.data() != shared_data_ || inbox.size() != shared_count_) {
+      return nullptr;
+    }
+    const std::type_index key(typeid(T));
+    for (const auto& [type, value] : index_memo_) {
+      if (type == key) {
+        return static_cast<const T*>(value.get());
+      }
+    }
+    auto built = std::make_shared<const T>(build(inbox));
+    const T* out = built.get();
+    index_memo_.emplace_back(key, std::move(built));
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_map<const wire::Buffer*, std::shared_ptr<const void>>
+      entries_;
+  const Envelope* shared_data_ = nullptr;
+  std::size_t shared_count_ = 0;
+  /// Plan-level memo entries for the shared span, keyed by result type (a
+  /// round uses one or two at most — linear scan beats hashing).
+  std::vector<std::pair<std::type_index, std::shared_ptr<const void>>>
+      index_memo_;
+};
+
+/// Decodes an envelope through its engine's cache when delivered by an
+/// engine, or directly into `scratch` for envelopes built outside one
+/// (tests, handcrafted inboxes). Returns nullptr on malformed input either
+/// way, so call sites have one code path.
+template <typename T, typename DecodeFn>
+const T* decode_cached(const Envelope& envelope, T& scratch,
+                       DecodeFn&& decode) {
+  if (envelope.cache != nullptr) {
+    return envelope.cache->get_or_decode<T>(envelope.payload,
+                                            std::forward<DecodeFn>(decode));
+  }
+  try {
+    scratch = decode(envelope.bytes());
+  } catch (const wire::WireError&) {
+    return nullptr;
+  }
+  return &scratch;
+}
+
+/// Builds (or fetches) a whole-inbox derived structure: memoized once per
+/// round when `inbox` is the engine's shared delivery plan, built into
+/// `scratch` otherwise (custom per-recipient inboxes, engine-less tests).
+template <typename T, typename BuildFn>
+const T* round_index(std::span<const Envelope> inbox, T& scratch,
+                     BuildFn&& build) {
+  DecodeCache* cache = inbox.empty() ? nullptr : inbox.front().cache;
+  if (cache != nullptr) {
+    if (const T* shared = cache->get_or_build_shared<T>(inbox, build)) {
+      return shared;
+    }
+  }
+  scratch = build(inbox);
+  return &scratch;
+}
+
+}  // namespace bil::sim

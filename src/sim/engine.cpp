@@ -116,38 +116,160 @@ void Engine::validate_and_apply(const CrashPlan& plan, RoundNumber round) {
 }
 
 void Engine::deliver_round(RoundNumber round) {
-  for (ProcessId receiver = 0; receiver < config_.num_processes; ++receiver) {
-    if (status_[receiver] != Status::kAlive) {
+  const std::uint32_t n = config_.num_processes;
+  // Stale buffer addresses from the previous round must never be consulted:
+  // clear before the first lookup against this round's payloads.
+  decode_cache_.begin_round();
+
+  // Group the outboxes into delivery plans, once per round. A sender is
+  // *shared* when its messages reach every alive recipient identically — it
+  // is alive (or halted, vacuously: halted outboxes are empty) and sends
+  // only broadcasts. Everything else — unicasts, or a sender crashed *this*
+  // round whose messages reach exactly the adversary-chosen subset — is
+  // *special* and resolved per recipient. Processes crashed in earlier
+  // rounds never reached on_send, so their outboxes are empty and they
+  // appear in neither plan.
+  shared_inbox_.clear();
+  special_senders_.clear();
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t shared_max_payload = 0;
+  for (ProcessId sender = 0; sender < n; ++sender) {
+    const Outbox& outbox = outboxes_[sender];
+    if (outbox.empty()) {
       continue;
     }
-    inbox_scratch_.clear();
-    for (ProcessId sender = 0; sender < config_.num_processes; ++sender) {
-      const Outbox& outbox = outboxes_[sender];
-      if (outbox.empty()) {
-        continue;
-      }
-      const bool sender_alive = status_[sender] == Status::kAlive ||
-                                status_[sender] == Status::kHalted;
-      // A sender with a non-empty outbox is either still alive (messages
-      // fully delivered) or crashed *this* round (messages reach exactly the
-      // adversary-chosen subset). Processes crashed in earlier rounds never
-      // reached on_send, so their outboxes are empty.
-      const bool delivered =
-          sender_alive ||
-          (outcomes_[sender].crash_round == round &&
-           final_delivery_[sender][receiver]);
-      if (!delivered) {
-        continue;
-      }
+    bool shared = status_[sender] != Status::kCrashed;
+    if (shared) {
       for (const OutboundMessage& message : outbox.messages()) {
-        if (message.broadcast || message.to == receiver) {
-          inbox_scratch_.push_back(Envelope{sender, message.payload});
-          metrics_.record_delivery(message.payload->size());
+        if (!message.broadcast) {
+          shared = false;
+          break;
         }
       }
     }
-    processes_[receiver]->on_receive(round, inbox_scratch_);
-    note_progress(receiver, round);
+    if (!shared) {
+      special_senders_.push_back(sender);
+      continue;
+    }
+    for (const OutboundMessage& message : outbox.messages()) {
+      shared_inbox_.push_back(Envelope{sender, message.payload,
+                                       &decode_cache_});
+      const std::uint64_t size = message.payload->size();
+      shared_bytes += size;
+      shared_max_payload = std::max(shared_max_payload, size);
+    }
+  }
+
+  // The shared plan is the only span with a round-stable address; register
+  // it so whole-inbox indexes built by recipients can be memoized once per
+  // round (see DecodeCache::get_or_build_shared).
+  decode_cache_.set_shared_inbox(shared_inbox_.data(), shared_inbox_.size());
+
+  std::uint64_t shared_recipients = 0;
+  if (special_senders_.empty()) {
+    // Fast path (every crash-free all-broadcast round): one flat inbox,
+    // handed to all alive recipients as the same span.
+    for (ProcessId receiver = 0; receiver < n; ++receiver) {
+      if (status_[receiver] != Status::kAlive) {
+        continue;
+      }
+      ++shared_recipients;
+      processes_[receiver]->on_receive(round, shared_inbox_);
+      note_progress(receiver, round);
+    }
+  } else {
+    // Mark the recipients whose inbox differs from the shared plan. A full
+    // (non-crashed) special sender has a unicast mixed into its outbox; its
+    // broadcasts still reach everyone, so everyone becomes custom. A
+    // crashed-this-round sender reaches exactly its delivery mask.
+    custom_recipient_.assign(n, 0);
+    for (ProcessId sender : special_senders_) {
+      const bool crashed = status_[sender] == Status::kCrashed;
+      const std::vector<bool>* mask =
+          crashed ? &final_delivery_[sender] : nullptr;
+      bool broadcast_marked = false;
+      for (const OutboundMessage& message : outboxes_[sender].messages()) {
+        if (message.broadcast) {
+          if (broadcast_marked) {
+            continue;
+          }
+          broadcast_marked = true;
+          for (ProcessId receiver = 0; receiver < n; ++receiver) {
+            if (mask == nullptr || (*mask)[receiver]) {
+              custom_recipient_[receiver] = 1;
+            }
+          }
+        } else if (message.to < n &&
+                   (mask == nullptr || (*mask)[message.to])) {
+          custom_recipient_[message.to] = 1;
+        }
+      }
+    }
+
+    std::uint64_t custom_recipients = 0;
+    for (ProcessId receiver = 0; receiver < n; ++receiver) {
+      if (status_[receiver] != Status::kAlive) {
+        continue;
+      }
+      if (custom_recipient_[receiver] == 0) {
+        ++shared_recipients;
+        processes_[receiver]->on_receive(round, shared_inbox_);
+        note_progress(receiver, round);
+        continue;
+      }
+      ++custom_recipients;
+      // Merge the shared plan with this recipient's special deliveries.
+      // Sender-id order is preserved: a sender is shared xor special, the
+      // shared plan is already ascending, and a special sender's messages
+      // keep their outbox order.
+      custom_inbox_.clear();
+      std::uint64_t row_bytes = 0;
+      std::size_t shared_index = 0;
+      for (ProcessId sender : special_senders_) {
+        while (shared_index < shared_inbox_.size() &&
+               shared_inbox_[shared_index].from < sender) {
+          const Envelope& envelope = shared_inbox_[shared_index++];
+          row_bytes += envelope.payload->size();
+          custom_inbox_.push_back(envelope);
+        }
+        const bool crashed = status_[sender] == Status::kCrashed;
+        if (crashed && !final_delivery_[sender][receiver]) {
+          continue;
+        }
+        for (const OutboundMessage& message : outboxes_[sender].messages()) {
+          if (message.broadcast || message.to == receiver) {
+            custom_inbox_.push_back(Envelope{sender, message.payload,
+                                             &decode_cache_});
+            const std::uint64_t size = message.payload->size();
+            row_bytes += size;
+            metrics_.note_payload(size);
+          }
+        }
+      }
+      while (shared_index < shared_inbox_.size()) {
+        const Envelope& envelope = shared_inbox_[shared_index++];
+        row_bytes += envelope.payload->size();
+        custom_inbox_.push_back(envelope);
+      }
+      metrics_.record_deliveries(custom_inbox_.size(), row_bytes);
+      processes_[receiver]->on_receive(round, custom_inbox_);
+      note_progress(receiver, round);
+    }
+    if (custom_recipients > 0 && !shared_inbox_.empty()) {
+      // Custom rows embed the full shared plan (their counts and bytes
+      // already include it above); the max tracker still needs to see those
+      // shared payloads as delivered.
+      metrics_.note_payload(shared_max_payload);
+    }
+  }
+
+  // Batch accounting for the shared plan: identical totals to per-envelope
+  // counting (the shared span reached shared_recipients recipients), and the
+  // max tracker sees each shared payload iff it was delivered at least once.
+  if (shared_recipients > 0 && !shared_inbox_.empty()) {
+    metrics_.record_deliveries(shared_inbox_.size() * shared_recipients,
+                               shared_bytes * shared_recipients);
+    metrics_.note_payload(shared_max_payload);
   }
 }
 

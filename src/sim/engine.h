@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/adversary.h"
+#include "sim/decode_cache.h"
 #include "sim/metrics.h"
 #include "sim/process.h"
 #include "sim/trace.h"
@@ -119,7 +120,25 @@ class Engine {
   std::vector<std::vector<bool>> final_delivery_;
   std::vector<Outbox> outboxes_;
   std::vector<ProcessId> alive_scratch_;
-  std::vector<Envelope> inbox_scratch_;
+
+  // -- Round-batched delivery fabric (deliver_round) -----------------------
+  // Outboxes are grouped once per round into a shared broadcast plan plus a
+  // list of special senders, instead of rescanning every outbox for each of
+  // the n recipients.
+  /// The envelopes every unexceptional alive recipient receives this round,
+  /// in sender-id order — built once, handed to all of them as one span.
+  std::vector<Envelope> shared_inbox_;
+  /// Senders needing per-recipient delivery decisions (unicast messages, or
+  /// crashed this round with a subset delivery mask), ascending.
+  std::vector<ProcessId> special_senders_;
+  /// Per-recipient flag: some special sender delivers to this recipient, so
+  /// its inbox differs from the shared plan.
+  std::vector<char> custom_recipient_;
+  /// Assembly arena for one custom recipient's inbox (shared plan merged
+  /// with its special deliveries), reused across recipients and rounds.
+  std::vector<Envelope> custom_inbox_;
+  /// Round-scoped payload decode cache stamped into delivered envelopes.
+  DecodeCache decode_cache_;
 
   Metrics metrics_;
   RoundNumber next_round_ = 0;

@@ -35,10 +35,25 @@ struct Metrics {
   }
 
   void record_delivery(std::uint64_t payload_bytes) {
-    per_round.back().deliveries += 1;
-    per_round.back().bytes_delivered += payload_bytes;
-    total_deliveries += 1;
-    total_bytes_delivered += payload_bytes;
+    record_deliveries(1, payload_bytes);
+    note_payload(payload_bytes);
+  }
+
+  /// Batch accounting for a delivery plan: `count` deliveries totalling
+  /// `bytes` payload bytes (e.g. one shared broadcast plan × its recipient
+  /// count). Equivalent to `count` record_delivery calls whose sizes sum to
+  /// `bytes` — integer sums are order-independent, so batch and per-envelope
+  /// accounting yield bit-identical counters. Callers fold payload sizes
+  /// into the max tracker separately via note_payload.
+  void record_deliveries(std::uint64_t count, std::uint64_t bytes) {
+    per_round.back().deliveries += count;
+    per_round.back().bytes_delivered += bytes;
+    total_deliveries += count;
+    total_bytes_delivered += bytes;
+  }
+
+  /// Folds one delivered payload size into the max tracker.
+  void note_payload(std::uint64_t payload_bytes) {
     if (payload_bytes > max_payload_bytes) {
       max_payload_bytes = payload_bytes;
     }

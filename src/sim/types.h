@@ -27,12 +27,19 @@ using Label = std::uint64_t;
 /// Lock-step round counter. Round 0 is the first communication round.
 using RoundNumber = std::uint32_t;
 
+class DecodeCache;
+
 /// A message as seen by its recipient.
 struct Envelope {
   ProcessId from = kNoProcess;
   /// Shared, immutable payload: a broadcast to n recipients shares one
   /// buffer rather than copying it n times.
   std::shared_ptr<const wire::Buffer> payload;
+  /// Round-scoped decode cache of the delivering engine (see
+  /// sim/decode_cache.h); null for envelopes built outside an engine.
+  /// Recipients decode through sim::decode_cached so each unique buffer is
+  /// parsed once per round instead of once per recipient.
+  DecodeCache* cache = nullptr;
 
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
     return *payload;

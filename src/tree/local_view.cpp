@@ -12,11 +12,88 @@ LocalTreeView::LocalTreeView(std::shared_ptr<const TreeShape> shape)
   subtree_count_.assign(shape_->num_nodes(), 0);
 }
 
-std::size_t LocalTreeView::index_of(Label ball) const {
+std::size_t LocalTreeView::slow_index_of(Label ball) const {
+  // Unit-stride labels with gaps: a view that missed an init-round victim's
+  // broadcast holds 0..n-1 minus a few crashed labels — the shape every
+  // adversarial run produces, and it lasts for the whole run. The slot is
+  // the arithmetic offset minus the number of gaps below `ball`, verified
+  // against the registry (so a gap label itself fails the check and throws).
+  if (dense_stride_ == 1 && !gaps_.empty()) {
+    if (ball >= dense_base_) {
+      const Label offset = ball - dense_base_;
+      if (offset < labels_.size() + gaps_.size()) {
+        const auto gap_it =
+            std::lower_bound(gaps_.begin(), gaps_.end(), ball);
+        const auto gaps_below =
+            static_cast<std::size_t>(gap_it - gaps_.begin());
+        const auto slot = static_cast<std::size_t>(offset) - gaps_below;
+        if (slot < labels_.size() && labels_[slot] == ball) {
+          return slot;
+        }
+      }
+    }
+    BIL_REQUIRE(false, "ball " + std::to_string(ball) + " is not registered");
+  }
+  // General arithmetic label sets (stride > 1) resolve in O(1); unit-stride
+  // gapless labels only reach here to fail (the inlined fast path already
+  // covered the hits).
+  if (dense_stride_ != 0) {
+    if (ball >= dense_base_) {
+      const Label offset = ball - dense_base_;
+      if (offset % dense_stride_ == 0) {
+        const Label slot = offset / dense_stride_;
+        if (slot < labels_.size()) {
+          return static_cast<std::size_t>(slot);
+        }
+      }
+    }
+    BIL_REQUIRE(false, "ball " + std::to_string(ball) + " is not registered");
+  }
   const auto it = std::lower_bound(labels_.begin(), labels_.end(), ball);
   BIL_REQUIRE(it != labels_.end() && *it == ball,
               "ball " + std::to_string(ball) + " is not registered");
   return static_cast<std::size_t>(it - labels_.begin());
+}
+
+void LocalTreeView::recompute_density() {
+  // labels_ is sorted and distinct; detect a constant stride — or unit
+  // stride with a bounded number of holes — so index_of can use arithmetic
+  // instead of binary search. Differences are compared pairwise, so no
+  // overflow-prone base + slot·stride is ever formed.
+  dense_stride_ = 0;
+  dense_base_ = labels_.empty() ? 0 : labels_[0];
+  gaps_.clear();
+  if (labels_.size() <= 1) {
+    dense_stride_ = 1;
+    return;
+  }
+  const Label stride = labels_[1] - labels_[0];
+  std::size_t first_break = labels_.size();
+  for (std::size_t slot = 2; slot < labels_.size(); ++slot) {
+    if (labels_[slot] - labels_[slot - 1] != stride) {
+      first_break = slot;
+      break;
+    }
+  }
+  if (first_break == labels_.size()) {
+    dense_stride_ = stride;
+    return;
+  }
+  // Not an arithmetic sequence. Try unit stride with holes (bounded so a
+  // genuinely sparse namespace cannot blow up the gap list; each hole costs
+  // one extra lower_bound step over at most kMaxGaps entries).
+  constexpr std::size_t kMaxGaps = 4096;
+  const Label span_end = labels_.back();
+  if (span_end - dense_base_ + 1 - labels_.size() > kMaxGaps) {
+    return;  // irregular labels: index_of falls back to binary search
+  }
+  for (std::size_t slot = 1; slot < labels_.size(); ++slot) {
+    for (Label missing = labels_[slot - 1] + 1; missing < labels_[slot];
+         ++missing) {
+      gaps_.push_back(missing);
+    }
+  }
+  dense_stride_ = 1;
 }
 
 void LocalTreeView::add_contribution(NodeId node, std::int32_t delta) {
@@ -43,6 +120,7 @@ void LocalTreeView::insert_all_at_root(std::span<const Label> balls) {
   subtree_count_[TreeShape::root()] =
       static_cast<std::uint32_t>(labels_.size());
   alive_count_ = static_cast<std::uint32_t>(labels_.size());
+  recompute_density();
 }
 
 void LocalTreeView::insert_at_root(Label ball) {
@@ -54,6 +132,7 @@ void LocalTreeView::insert_at_root(Label ball) {
   node_of_.insert(node_of_.begin() + slot, TreeShape::root());
   add_contribution(TreeShape::root(), +1);
   ++alive_count_;
+  recompute_density();
 }
 
 void LocalTreeView::remove(Label ball) {
@@ -71,13 +150,6 @@ bool LocalTreeView::contains(Label ball) const {
          node_of_[static_cast<std::size_t>(it - labels_.begin())] != kNoNode;
 }
 
-NodeId LocalTreeView::current(Label ball) const {
-  const std::size_t slot = index_of(ball);
-  BIL_REQUIRE(node_of_[slot] != kNoNode,
-              "ball " + std::to_string(ball) + " was removed");
-  return node_of_[slot];
-}
-
 std::vector<Label> LocalTreeView::balls() const {
   std::vector<Label> alive;
   alive.reserve(alive_count_);
@@ -87,15 +159,6 @@ std::vector<Label> LocalTreeView::balls() const {
     }
   }
   return alive;
-}
-
-std::uint32_t LocalTreeView::remaining_capacity(NodeId node) const {
-  const std::uint32_t leaves = shape_->leaf_count(node);
-  const std::uint32_t balls = subtree_count_.at(node);
-  // Saturate: stale crashed entries can transiently overfill a view's
-  // subtree (see the header comment); a full-or-overfull subtree simply
-  // admits no more balls.
-  return balls >= leaves ? 0 : leaves - balls;
 }
 
 std::uint32_t LocalTreeView::balls_at(NodeId node) const {
@@ -150,29 +213,30 @@ void LocalTreeView::reposition(Label ball, NodeId node) {
 }
 
 std::vector<Label> LocalTreeView::ordered_balls() const {
-  struct Entry {
-    std::uint32_t depth;
-    Label label;
-  };
-  std::vector<Entry> entries;
-  entries.reserve(alive_count_);
+  // Definition 1 (<R): deeper balls first; ties by smaller label. Depths
+  // are bounded by the tree height, and iterating slots in ascending label
+  // order keeps each depth bucket label-sorted — a two-pass counting sort
+  // (O(n + height)) yields exactly the order the comparison sort produced,
+  // and this runs twice per recipient per round.
+  const std::uint32_t height = shape_->height();
+  std::vector<std::uint32_t> bucket_start(height + 2, 0);
   for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
     if (node_of_[slot] != kNoNode) {
-      entries.push_back(Entry{shape_->depth(node_of_[slot]), labels_[slot]});
+      ++bucket_start[shape_->depth(node_of_[slot])];
     }
   }
-  // Definition 1 (<R): deeper balls first; ties by smaller label.
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) {
-              if (a.depth != b.depth) {
-                return a.depth > b.depth;
-              }
-              return a.label < b.label;
-            });
-  std::vector<Label> order;
-  order.reserve(entries.size());
-  for (const Entry& entry : entries) {
-    order.push_back(entry.label);
+  // Deepest bucket first: suffix-sum the counts into start offsets.
+  std::uint32_t offset = 0;
+  for (std::uint32_t depth = height + 1; depth-- > 0;) {
+    const std::uint32_t count = bucket_start[depth];
+    bucket_start[depth] = offset;
+    offset += count;
+  }
+  std::vector<Label> order(alive_count_);
+  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
+    if (node_of_[slot] != kNoNode) {
+      order[bucket_start[shape_->depth(node_of_[slot])]++] = labels_[slot];
+    }
   }
   return order;
 }

@@ -17,10 +17,12 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/types.h"
 #include "tree/shape.h"
+#include "util/contract.h"
 
 namespace bil::tree {
 
@@ -47,7 +49,12 @@ class LocalTreeView {
   void remove(Label ball);
 
   [[nodiscard]] bool contains(Label ball) const;
-  [[nodiscard]] NodeId current(Label ball) const;
+  [[nodiscard]] NodeId current(Label ball) const {
+    const std::size_t slot = index_of(ball);
+    BIL_REQUIRE(node_of_[slot] != kNoNode,
+                "ball " + std::to_string(ball) + " was removed");
+    return node_of_[slot];
+  }
   [[nodiscard]] std::uint32_t ball_count() const noexcept {
     return alive_count_;
   }
@@ -69,7 +76,13 @@ class LocalTreeView {
   /// transiently push a subtree's *total* count past its leaf count until
   /// the stale entries are purged at their turn in the next phase's <R
   /// iteration. Movement treats such subtrees as full, which is always safe.
-  [[nodiscard]] std::uint32_t remaining_capacity(NodeId node) const;
+  [[nodiscard]] std::uint32_t remaining_capacity(NodeId node) const {
+    const std::uint32_t leaves = shape_->leaf_count(node);
+    const std::uint32_t balls = subtree_count_.at(node);
+    // Saturate: stale crashed entries can transiently overfill a view's
+    // subtree (see above); a full-or-overfull subtree admits no more balls.
+    return balls >= leaves ? 0 : leaves - balls;
+  }
   /// Balls sitting exactly at `node`.
   [[nodiscard]] std::uint32_t balls_at(NodeId node) const;
   /// Smallest-label ball sitting exactly at `node`, if any. O(registry).
@@ -120,8 +133,23 @@ class LocalTreeView {
   void check_capacity_invariant(bool strict = true) const;
 
  private:
-  [[nodiscard]] std::size_t index_of(Label ball) const;
+  /// Registry slot of `ball`; throws if the label was never inserted. The
+  /// exact engine calls this once or twice per ball per recipient per round
+  /// (Θ(n²·rounds) total), so the common case — the harness's unit-stride
+  /// labelling — must stay a handful of inlined instructions; everything
+  /// else takes the cold path.
+  [[nodiscard]] std::size_t index_of(Label ball) const {
+    if (dense_stride_ == 1 && gaps_.empty() && ball >= dense_base_) {
+      const Label slot = ball - dense_base_;
+      if (slot < labels_.size()) {
+        return static_cast<std::size_t>(slot);
+      }
+    }
+    return slow_index_of(ball);
+  }
+  [[nodiscard]] std::size_t slow_index_of(Label ball) const;
   void add_contribution(NodeId node, std::int32_t delta);
+  void recompute_density();
 
   std::shared_ptr<const TreeShape> shape_;
   /// Balls in every subtree, indexed by NodeId.
@@ -131,6 +159,17 @@ class LocalTreeView {
   /// Position per registry slot; kNoNode marks a removed ball.
   std::vector<NodeId> node_of_;
   std::uint32_t alive_count_ = 0;
+  /// When labels_ form an arithmetic sequence (the harness's
+  /// offset + stride·id labelling), index_of is O(1) arithmetic:
+  /// slot = (ball - dense_base_) / dense_stride_. dense_stride_ == 0 marks
+  /// irregular labels (binary-search fallback). dense_stride_ == 1 with a
+  /// non-empty gaps_ marks a unit-stride set with holes — the label set of
+  /// every view that missed an init-round crash victim's broadcast — where
+  /// the slot is the offset minus the gaps below (see slow_index_of).
+  Label dense_base_ = 0;
+  Label dense_stride_ = 0;
+  /// Missing labels inside [dense_base_, labels_.back()], ascending.
+  std::vector<Label> gaps_;
 };
 
 }  // namespace bil::tree

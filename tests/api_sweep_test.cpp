@@ -108,8 +108,26 @@ TEST(Sweep, BackendsAgreeRoundForRoundOnCrashFreeConfigs) {
       EXPECT_EQ(e.rounds, f.rounds)
           << "cell " << c << " seed " << e.seed;
       EXPECT_EQ(e.names, f.names) << "cell " << c << " seed " << e.seed;
+      // The fast sim's analytic delivery count must equal the engine's
+      // measured one — mixed-backend sweep tables report real traffic.
+      EXPECT_EQ(e.messages_delivered, f.messages_delivered)
+          << "cell " << c << " seed " << e.seed;
+      EXPECT_TRUE(e.bytes_measured);
+      EXPECT_FALSE(f.bytes_measured);
     }
   }
+}
+
+TEST(Sweep, FastSimCellsMarkBytesAbsentInJson) {
+  api::ExperimentSpec spec;
+  spec.n_values = {64};
+  spec.seeds = 2;
+  spec.keep_runs = true;
+  spec.backend = api::BackendKind::kFastSim;
+  const std::string json = json_of(api::SweepRunner(spec).run());
+  EXPECT_NE(json.find("\"bytes\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"max_payload_bytes\":null"), std::string::npos);
+  EXPECT_EQ(json.find("\"bytes\":0"), std::string::npos);
 }
 
 TEST(Sweep, AcceptanceLargeNMultiThreaded) {

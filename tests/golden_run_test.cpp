@@ -1,0 +1,52 @@
+// Golden-seed regression suite: every engine refactor must reproduce these
+// runs bit-for-bit.
+//
+// The pinned values in golden_values.inc were captured from the engine as of
+// the pre-delivery-fabric implementation (the straightforward per-recipient
+// full-scan deliver_round) and locked in before the round-batched delivery
+// fabric landed — so a pass here proves the fabric is behavior-preserving:
+// identical rounds, identical decided names (hashed), identical traffic
+// counters, for every algorithm × adversary × n × seed cell in
+// harness::golden_grid().
+//
+// To re-capture after an intentional semantic change:
+//   $ cmake --build build --target golden_gen
+//   $ build/golden_gen > tests/golden_values.inc
+#include <gtest/gtest.h>
+
+#include "harness/golden.h"
+
+namespace bil::harness {
+namespace {
+
+constexpr GoldenObservation kGolden[] = {
+#include "golden_values.inc"
+};
+
+TEST(GoldenRuns, GridMatchesTableSize) {
+  EXPECT_EQ(golden_grid().size(), std::size(kGolden));
+}
+
+TEST(GoldenRuns, EveryCellIsBitIdentical) {
+  const std::vector<GoldenCell> grid = golden_grid();
+  ASSERT_EQ(grid.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const GoldenObservation observed = run_golden_cell(grid[i]);
+    const GoldenObservation& expected = kGolden[i];
+    EXPECT_EQ(observed.rounds, expected.rounds) << describe(grid[i]);
+    EXPECT_EQ(observed.total_rounds, expected.total_rounds)
+        << describe(grid[i]);
+    EXPECT_EQ(observed.crashes, expected.crashes) << describe(grid[i]);
+    EXPECT_EQ(observed.messages_delivered, expected.messages_delivered)
+        << describe(grid[i]);
+    EXPECT_EQ(observed.bytes_delivered, expected.bytes_delivered)
+        << describe(grid[i]);
+    EXPECT_EQ(observed.max_payload_bytes, expected.max_payload_bytes)
+        << describe(grid[i]);
+    EXPECT_EQ(observed.names_hash, expected.names_hash)
+        << describe(grid[i]) << " — decided names diverged";
+  }
+}
+
+}  // namespace
+}  // namespace bil::harness

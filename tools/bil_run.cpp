@@ -97,7 +97,11 @@ void print_run_table(const api::CellSummary& cell, bool csv) {
     table.add_row({stats::fmt_int(record.seed), stats::fmt_int(record.rounds),
                    stats::fmt_int(record.crashes),
                    stats::fmt_int(record.messages_delivered),
-                   stats::fmt_int(record.bytes_delivered)});
+                   // Fast-sim runs know their exact message count but never
+                   // materialize payloads; bytes are absent, not zero.
+                   record.bytes_measured
+                       ? stats::fmt_int(record.bytes_delivered)
+                       : std::string("-")});
   }
   if (csv) {
     table.print_csv(std::cout);
