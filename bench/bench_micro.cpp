@@ -3,9 +3,13 @@
 //
 // `bench_micro --json` switches to the engine-throughput perf smoke: full
 // engine runs at n ∈ {256, 1024, 4096}, crash-free and under an adversary,
-// reported as rounds/sec and deliveries/sec in machine-readable JSON. CI
-// uploads this as an artifact so every engine change leaves a recorded
-// before/after trail (see docs/perf.md for the numbers this PR recorded).
+// reported as rounds/sec and deliveries/sec in machine-readable JSON.
+// `bench_micro --json --thread-scaling` instead sweeps the intra-round
+// parallel executor over a threads × n grid (identical seeds at every
+// width — the engine is thread-count-deterministic) and reports rounds/sec
+// plus speedup vs the 1-thread baseline. CI uploads both as artifacts so
+// every engine change leaves a recorded before/after trail (see
+// docs/perf.md for the numbers recorded so far).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -21,6 +25,7 @@
 #include "tree/local_view.h"
 #include "tree/shape.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -128,12 +133,19 @@ harness::AdversarySpec oblivious_adversary(std::uint32_t n) {
                                 .subset = sim::SubsetPolicy::kRandomHalf};
 }
 
-/// Executes `runs` full engine runs and reports aggregate throughput. Seeds
-/// are fixed so before/after numbers measure the same work.
-void emit_throughput_row(std::FILE* out, const ThroughputScenario& scenario,
-                         std::uint32_t n, std::uint32_t runs, bool last) {
-  std::uint64_t total_rounds = 0;
-  std::uint64_t total_deliveries = 0;
+struct ThroughputSample {
+  std::uint64_t rounds = 0;
+  std::uint64_t deliveries = 0;
+  double seconds = 0;
+};
+
+/// Executes `runs` full engine runs at a fixed executor width. Seeds are
+/// fixed so before/after (and across-thread-count) numbers measure the
+/// exact same work — the engine is thread-count-deterministic.
+ThroughputSample measure_throughput(const ThroughputScenario& scenario,
+                                    std::uint32_t n, std::uint32_t runs,
+                                    std::uint32_t engine_threads) {
+  ThroughputSample sample;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint32_t i = 0; i < runs; ++i) {
     harness::RunConfig config;
@@ -141,23 +153,31 @@ void emit_throughput_row(std::FILE* out, const ThroughputScenario& scenario,
     config.n = n;
     config.seed = 1000 + i;
     config.adversary = scenario.adversary(n);
+    config.engine_threads = engine_threads;
     const harness::RunSummary summary = harness::run_renaming(config);
-    total_rounds += summary.total_rounds;
-    total_deliveries += summary.messages_delivered;
+    sample.rounds += summary.total_rounds;
+    sample.deliveries += summary.messages_delivered;
   }
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
-  const double seconds = elapsed.count();
+  sample.seconds = elapsed.count();
+  return sample;
+}
+
+void emit_throughput_row(std::FILE* out, const ThroughputScenario& scenario,
+                         std::uint32_t n, std::uint32_t runs, bool last) {
+  const ThroughputSample sample = measure_throughput(scenario, n, runs, 1);
   std::fprintf(
       out,
       "    {\"scenario\":\"%s\",\"n\":%u,\"runs\":%u,\"rounds\":%llu,"
       "\"deliveries\":%llu,\"seconds\":%.6f,\"rounds_per_sec\":%.1f,"
       "\"deliveries_per_sec\":%.1f}%s\n",
       scenario.name, n, runs,
-      static_cast<unsigned long long>(total_rounds),
-      static_cast<unsigned long long>(total_deliveries), seconds,
-      static_cast<double>(total_rounds) / seconds,
-      static_cast<double>(total_deliveries) / seconds, last ? "" : ",");
+      static_cast<unsigned long long>(sample.rounds),
+      static_cast<unsigned long long>(sample.deliveries), sample.seconds,
+      static_cast<double>(sample.rounds) / sample.seconds,
+      static_cast<double>(sample.deliveries) / sample.seconds,
+      last ? "" : ",");
 }
 
 int run_json_mode() {
@@ -182,13 +202,67 @@ int run_json_mode() {
   return 0;
 }
 
+/// `--json --thread-scaling`: the intra-round executor's speedup grid.
+/// threads × n, rounds/sec and speedup vs the 1-thread baseline of the
+/// same (scenario, n) — identical seeds, bit-identical runs, so the ratio
+/// is pure executor overhead vs parallelism. CI uploads this per push
+/// (engine-thread-scaling artifact); docs/perf.md tracks the trend.
+int run_thread_scaling_mode() {
+  constexpr ThroughputScenario kScenarios[] = {
+      {"crash-free", &no_adversary},
+      {"oblivious-n16", &oblivious_adversary},
+  };
+  constexpr std::uint32_t kSizes[] = {1024, 4096};
+  constexpr std::uint32_t kRuns[] = {3, 1};
+  const std::uint32_t hw = util::ThreadPool::hardware_threads();
+  std::vector<std::uint32_t> thread_counts;
+  for (std::uint32_t t = 1; t < hw; t *= 2) {
+    thread_counts.push_back(t);
+  }
+  thread_counts.push_back(hw);  // always include the full machine
+  std::FILE* out = stdout;
+  std::fprintf(out, "{\n  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(out, "  \"engine_thread_scaling\": [\n");
+  for (std::size_t s = 0; s < std::size(kScenarios); ++s) {
+    for (std::size_t i = 0; i < std::size(kSizes); ++i) {
+      double baseline_seconds = 0;
+      for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+        const ThroughputSample sample = measure_throughput(
+            kScenarios[s], kSizes[i], kRuns[i], thread_counts[t]);
+        if (thread_counts[t] == 1) {
+          baseline_seconds = sample.seconds;
+        }
+        const bool last = s + 1 == std::size(kScenarios) &&
+                          i + 1 == std::size(kSizes) &&
+                          t + 1 == thread_counts.size();
+        std::fprintf(
+            out,
+            "    {\"scenario\":\"%s\",\"n\":%u,\"threads\":%u,\"runs\":%u,"
+            "\"rounds\":%llu,\"seconds\":%.6f,\"rounds_per_sec\":%.1f,"
+            "\"speedup_vs_1\":%.2f}%s\n",
+            kScenarios[s].name, kSizes[i], thread_counts[t], kRuns[i],
+            static_cast<unsigned long long>(sample.rounds), sample.seconds,
+            static_cast<double>(sample.rounds) / sample.seconds,
+            baseline_seconds > 0 ? baseline_seconds / sample.seconds : 1.0,
+            last ? "" : ",");
+      }
+    }
+  }
+  std::fprintf(out, "  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  bool thread_scaling = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      return run_json_mode();
-    }
+    json |= std::strcmp(argv[i], "--json") == 0;
+    thread_scaling |= std::strcmp(argv[i], "--thread-scaling") == 0;
+  }
+  if (json) {
+    return thread_scaling ? run_thread_scaling_mode() : run_json_mode();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

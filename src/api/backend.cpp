@@ -30,6 +30,7 @@ RunRecord EngineBackend::run(const CellConfig& cell,
   config.gossip_t = cell.gossip_t;
   config.label_offset = cell.label_offset;
   config.label_stride = cell.label_stride;
+  config.engine_threads = engine_threads_;
   config.trace = trace_;
   const harness::RunSummary summary = harness::run_renaming(config);
 
@@ -112,10 +113,11 @@ BackendKind select_backend(const CellConfig& cell) {
   return BackendKind::kEngine;
 }
 
-std::unique_ptr<Backend> make_backend(BackendKind kind) {
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      std::uint32_t engine_threads) {
   switch (kind) {
     case BackendKind::kEngine:
-      return std::make_unique<EngineBackend>();
+      return std::make_unique<EngineBackend>(nullptr, engine_threads);
     case BackendKind::kFastSim:
       return std::make_unique<FastSimBackend>();
     case BackendKind::kAuto:

@@ -59,9 +59,14 @@ class Backend {
 /// Full message-passing engine via harness::run_renaming. Handles every
 /// algorithm and adversary. `trace` (optional, not owned) receives the
 /// engine event log of each run — single-run debugging only.
+/// `engine_threads` is forwarded to sim::EngineConfig::num_threads (1 =
+/// serial rounds, 0 = one thread per hardware thread; results are
+/// bit-identical either way, and a non-null trace forces serial).
 class EngineBackend final : public Backend {
  public:
-  explicit EngineBackend(sim::TraceSink* trace = nullptr) : trace_(trace) {}
+  explicit EngineBackend(sim::TraceSink* trace = nullptr,
+                         std::uint32_t engine_threads = 1)
+      : trace_(trace), engine_threads_(engine_threads) {}
   [[nodiscard]] BackendKind kind() const noexcept override {
     return BackendKind::kEngine;
   }
@@ -70,6 +75,7 @@ class EngineBackend final : public Backend {
 
  private:
   sim::TraceSink* trace_;
+  std::uint32_t engine_threads_;
 };
 
 /// Single-view fast simulator. Crash-free, tree-based, default-labelled
@@ -103,7 +109,10 @@ inline constexpr std::uint32_t kAutoFastSimMinN = 4096;
 [[nodiscard]] BackendKind select_backend(const CellConfig& cell);
 
 /// Instantiates a backend of the given concrete kind (kAuto not allowed).
-[[nodiscard]] std::unique_ptr<Backend> make_backend(BackendKind kind);
+/// `engine_threads` configures EngineBackend's intra-round executor width
+/// and is ignored by FastSimBackend.
+[[nodiscard]] std::unique_ptr<Backend> make_backend(
+    BackendKind kind, std::uint32_t engine_threads = 1);
 
 /// Parses "auto" | "engine" | "fast-sim" (throws with a diagnostic listing
 /// the accepted names otherwise).

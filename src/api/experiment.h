@@ -71,8 +71,18 @@ struct ExperimentSpec {
   SeedMode seed_mode = SeedMode::kShared;
 
   BackendKind backend = BackendKind::kAuto;
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Sweep worker threads — the sweep's *total* thread budget; 0 =
+  /// std::thread::hardware_concurrency(). Cell-level workers × per-run
+  /// engine threads never exceeds this budget (see engine_threads), so a
+  /// sweep cannot oversubscribe the machine.
   std::uint32_t threads = 0;
+  /// Intra-round engine threads per run (sim::EngineConfig::num_threads).
+  /// 0 = auto: run-level parallelism fills the budget first — grids with at
+  /// least `threads` runs keep serial engines, while small grids of big
+  /// runs hand the leftover budget to each engine. Explicit values are
+  /// clamped to the budget. Any value yields bit-identical results
+  /// (tests/engine_parallel_test.cpp); only wall clock moves.
+  std::uint32_t engine_threads = 0;
   /// Retain per-run records (seed, rounds, names, ...) in the result, not
   /// just per-cell summaries.
   bool keep_runs = false;

@@ -174,7 +174,29 @@ SweepResult SweepRunner::run() const {
   const std::size_t runs_per_cell = spec_.seeds;
   const std::size_t total = num_cells * runs_per_cell;
 
-  const std::unique_ptr<Backend> engine = make_backend(BackendKind::kEngine);
+  // Global thread budget: cell-level workers × per-run engine threads must
+  // not exceed spec.threads (default: the hardware thread count), so the
+  // two levels of parallelism never oversubscribe the machine. Run-level
+  // sharding amortizes better (zero per-round synchronization), so auto
+  // engine_threads stays 1 whenever the grid has enough runs to fill the
+  // budget and only grids smaller than the budget hand engines the
+  // leftover cores.
+  const std::uint32_t budget =
+      spec_.threads != 0 ? spec_.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  std::uint32_t engine_threads = spec_.engine_threads;
+  if (engine_threads == 0) {
+    engine_threads =
+        total >= budget ? 1
+                        : std::max<std::uint32_t>(
+                              1, budget / static_cast<std::uint32_t>(total));
+  }
+  // An explicit engine_threads above the budget would oversubscribe (one
+  // worker × engine_threads threads); the budget wins.
+  engine_threads = std::min(engine_threads, budget);
+
+  const std::unique_ptr<Backend> engine =
+      make_backend(BackendKind::kEngine, engine_threads);
   const std::unique_ptr<Backend> fast_sim =
       make_backend(BackendKind::kFastSim);
   std::vector<BackendKind> resolved(num_cells);
@@ -220,9 +242,7 @@ SweepResult SweepRunner::run() const {
     }
   };
 
-  std::size_t threads = spec_.threads != 0
-                            ? spec_.threads
-                            : std::max(1u, std::thread::hardware_concurrency());
+  std::size_t threads = std::max<std::uint32_t>(1, budget / engine_threads);
   threads = std::min(threads, total);
   if (threads <= 1) {
     worker();

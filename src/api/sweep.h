@@ -6,7 +6,10 @@
 // alone, each run writes into a preassigned slot, and summaries are folded
 // in slot order after the pool joins. The same spec run with 1 thread and
 // with 8 threads therefore produces bit-identical SweepResults (asserted by
-// tests/api_sweep_test.cpp).
+// tests/api_sweep_test.cpp) — and the per-run engine is itself
+// thread-count-invariant (tests/engine_parallel_test.cpp), so the
+// engine_threads knob moves wall clock only. Cell workers × engine threads
+// is capped by the spec.threads budget (see ExperimentSpec).
 #pragma once
 
 #include <cstdint>

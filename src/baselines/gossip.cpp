@@ -9,7 +9,14 @@ namespace bil::baselines {
 
 namespace {
 wire::Buffer encode_known(const std::set<sim::Label>& known) {
-  wire::Writer writer(8 + 4 * known.size());
+  // Exact size (count prefix + per-label varints): gossip payloads carry up
+  // to n labels, and the old 4-bytes-per-label guess both over-reserved for
+  // small labels and forced growth reallocation for >2^28 ones.
+  std::size_t bytes = wire::varint_size(known.size());
+  for (sim::Label label : known) {
+    bytes += wire::varint_size(label);
+  }
+  wire::Writer writer(bytes);
   writer.seq(known, [](wire::Writer& w, sim::Label label) { w.varint(label); });
   return std::move(writer).take();
 }

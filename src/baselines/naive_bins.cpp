@@ -19,7 +19,8 @@ struct BinMsg {
 };
 
 wire::Buffer encode_bin_msg(const BinMsg& msg) {
-  wire::Writer writer(12);
+  wire::Writer writer(1 + wire::varint_size(msg.label) +
+                      wire::varint_size(msg.bin));
   writer.u8(static_cast<std::uint8_t>(msg.type));
   writer.varint(msg.label);
   writer.varint(msg.bin);

@@ -12,8 +12,13 @@ enum class MsgType : std::uint8_t {
 };
 }  // namespace
 
+std::size_t encoded_size(const Message& message) noexcept {
+  return std::visit([](const auto& msg) { return encoded_size(msg); },
+                    message);
+}
+
 wire::Buffer encode_message(const Message& message) {
-  wire::Writer writer(16);
+  wire::Writer writer(encoded_size(message));
   std::visit(
       [&writer](const auto& msg) {
         using T = std::decay_t<decltype(msg)>;

@@ -50,6 +50,25 @@ struct PositionMsg {
 
 using Message = std::variant<InitMsg, PathMsg, PositionMsg>;
 
+/// Exact encoded sizes (type byte + varints) of the protocol messages. The
+/// per-phase broadcasts — Path in round 1, Position in round 2 — are the
+/// encode hot path (one per alive ball per round), so encode_message seeds
+/// wire::Writer's reserve constructor with these instead of a guessed
+/// constant: exactly one right-sized allocation per message, no growth
+/// reallocation at any n or label magnitude.
+[[nodiscard]] constexpr std::size_t encoded_size(const InitMsg& msg) noexcept {
+  return 1 + wire::varint_size(msg.label);
+}
+[[nodiscard]] constexpr std::size_t encoded_size(const PathMsg& msg) noexcept {
+  return 1 + wire::varint_size(msg.label) + wire::varint_size(msg.start) +
+         wire::varint_size(msg.target);
+}
+[[nodiscard]] constexpr std::size_t encoded_size(
+    const PositionMsg& msg) noexcept {
+  return 1 + wire::varint_size(msg.label) + wire::varint_size(msg.node);
+}
+[[nodiscard]] std::size_t encoded_size(const Message& message) noexcept;
+
 /// Serializes a protocol message.
 [[nodiscard]] wire::Buffer encode_message(const Message& message);
 

@@ -108,13 +108,15 @@ std::vector<GoldenCell> golden_grid() {
   return grid;
 }
 
-GoldenObservation run_golden_cell(const GoldenCell& cell) {
+GoldenObservation run_golden_cell(const GoldenCell& cell,
+                                  std::uint32_t engine_threads) {
   RunConfig config;
   config.algorithm = cell.algorithm;
   config.n = cell.n;
   config.seed = cell.seed;
   config.adversary = cell.adversary;
   config.termination = cell.termination;
+  config.engine_threads = engine_threads;
   const RunSummary summary = run_renaming(config);
 
   GoldenObservation observation;

@@ -188,6 +188,7 @@ RunSummary run_renaming(const RunConfig& config) {
       sim::EngineConfig{.num_processes = config.n,
                         .max_crashes = config.adversary.crashes,
                         .max_rounds = config.max_rounds,
+                        .num_threads = config.engine_threads,
                         .trace = config.trace},
       std::move(processes), make_adversary(config, shape));
   sim::RunResult result = engine.run();

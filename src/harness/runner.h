@@ -86,7 +86,13 @@ struct RunConfig {
   /// id, as the paper's label-order arguments assume.
   sim::Label label_offset = 0;
   sim::Label label_stride = 1;
+  /// Intra-round engine executor threads (sim::EngineConfig::num_threads):
+  /// 1 = serial, k > 1 = shard the send/receive fan-outs over k threads,
+  /// 0 = one per hardware thread. The run's result is bit-identical for
+  /// every value.
+  std::uint32_t engine_threads = 1;
   /// Optional engine event trace; not owned, must outlive the run.
+  /// A non-null trace forces serial execution regardless of engine_threads.
   sim::TraceSink* trace = nullptr;
 };
 

@@ -2,11 +2,14 @@
 // round, not once per recipient.
 //
 // A broadcast to n recipients shares one payload buffer (sim::Envelope holds
-// a shared_ptr), but every recipient used to re-parse it — Θ(n²) decodes per
-// round for a broadcast protocol. The engine owns one DecodeCache, clears it
-// at the start of each round's delivery, and stamps it into every Envelope it
-// delivers; protocol code funnels decoding through decode_cached(), which
-// turns the n-1 repeat decodes of a broadcast into pointer-keyed hash hits.
+// an arena handle), but every recipient used to re-parse it — Θ(n²) decodes
+// per round for a broadcast protocol. The engine owns one DecodeCache per
+// executor thread, clears each at the start of each round's delivery, and
+// stamps the delivering worker's cache into every Envelope it delivers;
+// protocol code funnels decoding through decode_cached(), which turns the
+// n-1 repeat decodes of a broadcast into pointer-keyed hash hits. (Under
+// the parallel executor each worker decodes a buffer at most once — workers
+// never share a cache, so no lookup ever synchronizes.)
 //
 // Determinism argument (docs/perf.md has the long form): decoding is a pure
 // function of the payload bytes, and a buffer address is a stable identity
@@ -61,9 +64,8 @@ class DecodeCache {
   /// (wire::WireError), also memoized. `decode` must be a pure function
   /// span-of-bytes → T.
   template <typename T, typename DecodeFn>
-  const T* get_or_decode(const std::shared_ptr<const wire::Buffer>& payload,
-                         DecodeFn&& decode) {
-    const auto [it, inserted] = entries_.try_emplace(payload.get());
+  const T* get_or_decode(const wire::Buffer* payload, DecodeFn&& decode) {
+    const auto [it, inserted] = entries_.try_emplace(payload);
     if (inserted) {
       try {
         it->second = std::make_shared<const T>(

@@ -43,6 +43,22 @@ Engine::Engine(EngineConfig config,
   outcomes_.assign(config_.num_processes, ProcessOutcome{});
   final_delivery_.resize(config_.num_processes);
   outboxes_.resize(config_.num_processes);
+
+  // Resolve the executor width. More threads than processes cannot help (a
+  // chunk would be empty every round), and a trace sink forces serial
+  // execution anyway (events must stream in id order), so spawn workers
+  // only when some fan-out will actually use them.
+  std::uint32_t threads = config_.num_threads == 0
+                              ? util::ThreadPool::hardware_threads()
+                              : config_.num_threads;
+  threads = std::max(1u, std::min(threads, config_.num_processes));
+  if (config_.trace != nullptr) {
+    threads = 1;
+  }
+  workers_.resize(threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
 }
 
 const ProcessBase& Engine::process(ProcessId id) const {
@@ -115,11 +131,117 @@ void Engine::validate_and_apply(const CrashPlan& plan, RoundNumber round) {
   }
 }
 
+void Engine::send_chunk(WorkerState& ws, std::size_t begin, std::size_t end,
+                        RoundNumber round) {
+  for (std::size_t id = begin; id < end; ++id) {
+    if (status_[id] != Status::kAlive) {
+      continue;
+    }
+    const auto pid = static_cast<ProcessId>(id);
+    processes_[pid]->on_send(round, outboxes_[pid]);
+    ws.sends += outboxes_[pid].messages().size();
+    if (config_.trace != nullptr && !outboxes_[pid].empty()) {
+      config_.trace->on_send(round, pid, outboxes_[pid].messages().size());
+    }
+    note_progress(pid, round);
+  }
+}
+
+void Engine::send_phase(RoundNumber round) {
+  // Clear every outbox (halted/crashed processes keep theirs empty); this
+  // also recycles each outbox's payload arena for the new round.
+  for (Outbox& outbox : outboxes_) {
+    outbox.clear();
+  }
+  // Collect this round's messages. Each sender touches only its own process
+  // state and its own outbox (with its own payload arena), so the fan-out
+  // shards cleanly over the pool; the per-worker send counters are summed
+  // afterwards — integer addition commutes, so the round's send total is
+  // bit-identical to the serial per-process accounting.
+  if (parallel()) {
+    pool_->parallel_chunks(
+        config_.num_processes,
+        [&](std::uint32_t chunk, std::size_t begin, std::size_t end) {
+          send_chunk(workers_[chunk], begin, end, round);
+        });
+  } else {
+    send_chunk(workers_[0], 0, config_.num_processes, round);
+  }
+  std::uint64_t sends = 0;
+  for (WorkerState& ws : workers_) {
+    sends += ws.sends;
+    ws.sends = 0;
+  }
+  metrics_.record_send(sends);
+}
+
+void Engine::deliver_chunk(WorkerState& ws,
+                           std::span<const Envelope> shared_view,
+                           std::size_t begin, std::size_t end,
+                           RoundNumber round) {
+  const bool has_special = !special_senders_.empty();
+  for (std::size_t id = begin; id < end; ++id) {
+    const auto receiver = static_cast<ProcessId>(id);
+    if (status_[receiver] != Status::kAlive) {
+      continue;
+    }
+    if (!has_special || custom_recipient_[receiver] == 0) {
+      ++ws.shared_recipients;
+      processes_[receiver]->on_receive(round, shared_view);
+      note_progress(receiver, round);
+      continue;
+    }
+    ++ws.custom_recipients;
+    // Merge the shared plan with this recipient's special deliveries.
+    // Sender-id order is preserved: a sender is shared xor special, the
+    // shared plan is already ascending, and a special sender's messages
+    // keep their outbox order.
+    ws.custom_inbox.clear();
+    std::uint64_t row_bytes = 0;
+    std::size_t shared_index = 0;
+    for (std::size_t s = 0; s < special_senders_.size(); ++s) {
+      const ProcessId sender = special_senders_[s];
+      while (shared_index < shared_view.size() &&
+             shared_view[shared_index].from < sender) {
+        const Envelope& envelope = shared_view[shared_index++];
+        row_bytes += envelope.payload->size();
+        ws.custom_inbox.push_back(envelope);
+      }
+      if (special_sender_crashed_[s] != 0 &&
+          !final_delivery_[sender][receiver]) {
+        continue;
+      }
+      for (const OutboundMessage& message : outboxes_[sender].messages()) {
+        if (message.broadcast || message.to == receiver) {
+          ws.custom_inbox.push_back(
+              Envelope{sender, message.payload, &ws.cache});
+          const std::uint64_t size = message.payload->size();
+          row_bytes += size;
+          ws.max_payload = std::max(ws.max_payload, size);
+        }
+      }
+    }
+    while (shared_index < shared_view.size()) {
+      const Envelope& envelope = shared_view[shared_index++];
+      row_bytes += envelope.payload->size();
+      ws.custom_inbox.push_back(envelope);
+    }
+    ws.deliveries += ws.custom_inbox.size();
+    ws.bytes += row_bytes;
+    processes_[receiver]->on_receive(round, ws.custom_inbox);
+    note_progress(receiver, round);
+  }
+}
+
 void Engine::deliver_round(RoundNumber round) {
   const std::uint32_t n = config_.num_processes;
+  const std::size_t active_workers = parallel() ? workers_.size() : 1;
   // Stale buffer addresses from the previous round must never be consulted:
-  // clear before the first lookup against this round's payloads.
-  decode_cache_.begin_round();
+  // clear every worker's cache before its first lookup against this round's
+  // payloads.
+  for (std::size_t w = 0; w < active_workers; ++w) {
+    workers_[w].cache.begin_round();
+  }
 
   // Group the outboxes into delivery plans, once per round. A sender is
   // *shared* when its messages reach every alive recipient identically — it
@@ -131,6 +253,7 @@ void Engine::deliver_round(RoundNumber round) {
   // appear in neither plan.
   shared_inbox_.clear();
   special_senders_.clear();
+  special_sender_crashed_.clear();
   std::uint64_t shared_bytes = 0;
   std::uint64_t shared_max_payload = 0;
   for (ProcessId sender = 0; sender < n; ++sender) {
@@ -138,7 +261,8 @@ void Engine::deliver_round(RoundNumber round) {
     if (outbox.empty()) {
       continue;
     }
-    bool shared = status_[sender] != Status::kCrashed;
+    const bool crashed = status_[sender] == Status::kCrashed;
+    bool shared = !crashed;
     if (shared) {
       for (const OutboundMessage& message : outbox.messages()) {
         if (!message.broadcast) {
@@ -149,11 +273,12 @@ void Engine::deliver_round(RoundNumber round) {
     }
     if (!shared) {
       special_senders_.push_back(sender);
+      special_sender_crashed_.push_back(crashed ? 1 : 0);
       continue;
     }
     for (const OutboundMessage& message : outbox.messages()) {
-      shared_inbox_.push_back(Envelope{sender, message.payload,
-                                       &decode_cache_});
+      shared_inbox_.push_back(
+          Envelope{sender, message.payload, &workers_[0].cache});
       const std::uint64_t size = message.payload->size();
       shared_bytes += size;
       shared_max_payload = std::max(shared_max_payload, size);
@@ -162,22 +287,25 @@ void Engine::deliver_round(RoundNumber round) {
 
   // The shared plan is the only span with a round-stable address; register
   // it so whole-inbox indexes built by recipients can be memoized once per
-  // round (see DecodeCache::get_or_build_shared).
-  decode_cache_.set_shared_inbox(shared_inbox_.data(), shared_inbox_.size());
-
-  std::uint64_t shared_recipients = 0;
-  if (special_senders_.empty()) {
-    // Fast path (every crash-free all-broadcast round): one flat inbox,
-    // handed to all alive recipients as the same span.
-    for (ProcessId receiver = 0; receiver < n; ++receiver) {
-      if (status_[receiver] != Status::kAlive) {
-        continue;
-      }
-      ++shared_recipients;
-      processes_[receiver]->on_receive(round, shared_inbox_);
-      note_progress(receiver, round);
+  // round (see DecodeCache::get_or_build_shared). Workers beyond the first
+  // get their own copy of the plan, restamped with their own cache: the
+  // copies are element-wise identical (an envelope's cache only routes
+  // decoding, it never changes the decoded value), so recipients observe
+  // the same inbox regardless of which worker delivers to them, and each
+  // worker memoizes decodes and shared-plan indexes privately — no lookup
+  // ever crosses a thread.
+  workers_[0].cache.set_shared_inbox(shared_inbox_.data(),
+                                     shared_inbox_.size());
+  for (std::size_t w = 1; w < active_workers; ++w) {
+    WorkerState& ws = workers_[w];
+    ws.shared_inbox.assign(shared_inbox_.begin(), shared_inbox_.end());
+    for (Envelope& envelope : ws.shared_inbox) {
+      envelope.cache = &ws.cache;
     }
-  } else {
+    ws.cache.set_shared_inbox(ws.shared_inbox.data(), ws.shared_inbox.size());
+  }
+
+  if (!special_senders_.empty()) {
     // Mark the recipients whose inbox differs from the shared plan. A full
     // (non-crashed) special sender has a unicast mixed into its outbox; its
     // broadcasts still reach everyone, so everyone becomes custom. A
@@ -205,57 +333,48 @@ void Engine::deliver_round(RoundNumber round) {
         }
       }
     }
+  }
 
-    std::uint64_t custom_recipients = 0;
-    for (ProcessId receiver = 0; receiver < n; ++receiver) {
-      if (status_[receiver] != Status::kAlive) {
-        continue;
-      }
-      if (custom_recipient_[receiver] == 0) {
-        ++shared_recipients;
-        processes_[receiver]->on_receive(round, shared_inbox_);
-        note_progress(receiver, round);
-        continue;
-      }
-      ++custom_recipients;
-      // Merge the shared plan with this recipient's special deliveries.
-      // Sender-id order is preserved: a sender is shared xor special, the
-      // shared plan is already ascending, and a special sender's messages
-      // keep their outbox order.
-      custom_inbox_.clear();
-      std::uint64_t row_bytes = 0;
-      std::size_t shared_index = 0;
-      for (ProcessId sender : special_senders_) {
-        while (shared_index < shared_inbox_.size() &&
-               shared_inbox_[shared_index].from < sender) {
-          const Envelope& envelope = shared_inbox_[shared_index++];
-          row_bytes += envelope.payload->size();
-          custom_inbox_.push_back(envelope);
-        }
-        const bool crashed = status_[sender] == Status::kCrashed;
-        if (crashed && !final_delivery_[sender][receiver]) {
-          continue;
-        }
-        for (const OutboundMessage& message : outboxes_[sender].messages()) {
-          if (message.broadcast || message.to == receiver) {
-            custom_inbox_.push_back(Envelope{sender, message.payload,
-                                             &decode_cache_});
-            const std::uint64_t size = message.payload->size();
-            row_bytes += size;
-            metrics_.note_payload(size);
-          }
-        }
-      }
-      while (shared_index < shared_inbox_.size()) {
-        const Envelope& envelope = shared_inbox_[shared_index++];
-        row_bytes += envelope.payload->size();
-        custom_inbox_.push_back(envelope);
-      }
-      metrics_.record_deliveries(custom_inbox_.size(), row_bytes);
-      processes_[receiver]->on_receive(round, custom_inbox_);
-      note_progress(receiver, round);
-    }
-    if (custom_recipients > 0 && !shared_inbox_.empty()) {
+  // Recipient fan-out. Each recipient touches only its own process state;
+  // the plans, outboxes and status flags are read-only until the join.
+  if (parallel()) {
+    pool_->parallel_chunks(
+        n, [&](std::uint32_t chunk, std::size_t begin, std::size_t end) {
+          WorkerState& ws = workers_[chunk];
+          deliver_chunk(ws,
+                        chunk == 0 ? std::span<const Envelope>(shared_inbox_)
+                                   : std::span<const Envelope>(ws.shared_inbox),
+                        begin, end, round);
+        });
+  } else {
+    deliver_chunk(workers_[0], shared_inbox_, 0, n, round);
+  }
+
+  // Fold the metric shards in chunk (= ascending process-id) order. Every
+  // counter is an integer sum or max over per-delivery values, so the fold
+  // is bit-identical to the per-recipient accounting the serial engine used
+  // to do (and to any other fold order).
+  std::uint64_t shared_recipients = 0;
+  std::uint64_t custom_recipients = 0;
+  std::uint64_t custom_deliveries = 0;
+  std::uint64_t custom_bytes = 0;
+  std::uint64_t custom_max_payload = 0;
+  for (WorkerState& ws : workers_) {
+    shared_recipients += ws.shared_recipients;
+    custom_recipients += ws.custom_recipients;
+    custom_deliveries += ws.deliveries;
+    custom_bytes += ws.bytes;
+    custom_max_payload = std::max(custom_max_payload, ws.max_payload);
+    ws.shared_recipients = 0;
+    ws.custom_recipients = 0;
+    ws.deliveries = 0;
+    ws.bytes = 0;
+    ws.max_payload = 0;
+  }
+  if (custom_recipients > 0) {
+    metrics_.record_deliveries(custom_deliveries, custom_bytes);
+    metrics_.note_payload(custom_max_payload);
+    if (!shared_inbox_.empty()) {
       // Custom rows embed the full shared plan (their counts and bytes
       // already include it above); the max tracker still needs to see those
       // shared payloads as delivered.
@@ -281,26 +400,11 @@ bool Engine::step() {
     config_.trace->on_round_begin(round);
   }
 
-  // Send phase: clear every outbox (halted/crashed processes keep theirs
-  // empty) and collect this round's messages from alive processes.
-  for (Outbox& outbox : outboxes_) {
-    outbox.clear();
-  }
-  for (ProcessId id = 0; id < config_.num_processes; ++id) {
-    if (status_[id] != Status::kAlive) {
-      continue;
-    }
-    processes_[id]->on_send(round, outboxes_[id]);
-    metrics_.record_send(outboxes_[id].messages().size());
-    if (config_.trace != nullptr && !outboxes_[id].empty()) {
-      config_.trace->on_send(round, id, outboxes_[id].messages().size());
-    }
-    note_progress(id, round);
-  }
+  send_phase(round);
 
   // Adversary phase: the adversary observes all pending messages (hence all
   // coin flips that shaped them) before committing crashes — the strong
-  // adaptive model.
+  // adaptive model. Always serial: the adversary sees a global snapshot.
   if (adversary_ != nullptr) {
     alive_scratch_.clear();
     for (ProcessId id = 0; id < config_.num_processes; ++id) {

@@ -7,6 +7,17 @@
 // forever; a process that halts (decided and left the protocol) likewise
 // sends and receives nothing afterwards — other processes observe only
 // silence in both cases, exactly as in the paper's model.
+//
+// Intra-round parallelism: within one round, on_send across alive processes
+// and on_receive across recipients are independent deterministic state
+// transitions (each touches only its own process's state) — the same
+// lock-step structure synchronous renaming protocols exploit. With
+// EngineConfig::num_threads > 1 the engine fans both phases out over a
+// reusable util::ThreadPool; the adversary step between them stays serial.
+// Every observable (inbox contents and order, outcomes, metrics) is
+// bit-identical for every thread count — see docs/perf.md for the argument
+// and tests/engine_parallel_test.cpp / golden_run_test for the executable
+// form.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +31,7 @@
 #include "sim/process.h"
 #include "sim/trace.h"
 #include "sim/types.h"
+#include "util/thread_pool.h"
 
 namespace bil::sim {
 
@@ -34,6 +46,13 @@ struct EngineConfig {
   /// O(n)-round termination bound (paper Lemma 11), so hitting the cap
   /// means a bug, not bad luck.
   RoundNumber max_rounds = 0;
+  /// Intra-round executor threads for the send/receive fan-outs: 1 (the
+  /// default) runs every phase serially, k > 1 shards processes over k
+  /// threads, 0 resolves to one thread per hardware thread. The run's
+  /// result is bit-identical for every value. When a trace sink is attached
+  /// the engine falls back to serial execution regardless (trace events
+  /// must stream in id order).
+  std::uint32_t num_threads = 1;
   /// Optional execution trace; not owned, may be null. Must outlive the
   /// engine.
   TraceSink* trace = nullptr;
@@ -50,6 +69,8 @@ struct ProcessOutcome {
 
   bool halted = false;
   RoundNumber halt_round = 0;
+
+  bool operator==(const ProcessOutcome&) const = default;
 };
 
 /// Result of Engine::run.
@@ -88,6 +109,12 @@ class Engine {
   [[nodiscard]] std::uint32_t num_processes() const noexcept {
     return config_.num_processes;
   }
+  /// The resolved executor thread count: config num_threads with 0
+  /// expanded to the hardware thread count, clamped to num_processes, and
+  /// forced to 1 when a trace sink is attached (the serial fallback).
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
   [[nodiscard]] const ProcessBase& process(ProcessId id) const;
   /// Mutable access, e.g. to attach instrumentation before running.
   [[nodiscard]] ProcessBase& mutable_process(ProcessId id);
@@ -104,10 +131,43 @@ class Engine {
  private:
   enum class Status : std::uint8_t { kAlive, kHalted, kCrashed };
 
+  /// Per-executor-thread state: scratch arenas so workers never share
+  /// mutable memory, and metric shards reduced in chunk (= process-id)
+  /// order after each fan-out so totals stay bit-identical to a serial run.
+  struct WorkerState {
+    /// Round-scoped payload decode cache stamped into the envelopes this
+    /// worker delivers. Workers never share a cache, so protocol decode
+    /// lookups are synchronization-free.
+    DecodeCache cache;
+    /// This worker's copy of the round's shared delivery plan (worker 0
+    /// borrows the master plan instead; see deliver_round).
+    std::vector<Envelope> shared_inbox;
+    /// Assembly arena for one custom recipient's inbox, reused across
+    /// recipients and rounds.
+    std::vector<Envelope> custom_inbox;
+    // -- metric shard, folded after the fan-out ----------------------------
+    std::uint64_t sends = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t max_payload = 0;
+    std::uint64_t shared_recipients = 0;
+    std::uint64_t custom_recipients = 0;
+  };
+
   void validate_and_apply(const CrashPlan& plan, RoundNumber round);
+  void send_phase(RoundNumber round);
   void deliver_round(RoundNumber round);
+  void send_chunk(WorkerState& ws, std::size_t begin, std::size_t end,
+                  RoundNumber round);
+  void deliver_chunk(WorkerState& ws, std::span<const Envelope> shared_view,
+                     std::size_t begin, std::size_t end, RoundNumber round);
   void note_progress(ProcessId id, RoundNumber round);
   [[nodiscard]] bool protocol_running() const;
+  /// True when this round's fan-outs go through the pool (num_threads > 1
+  /// and no trace sink attached).
+  [[nodiscard]] bool parallel() const noexcept {
+    return pool_ != nullptr && config_.trace == nullptr;
+  }
 
   EngineConfig config_;
   std::vector<std::unique_ptr<ProcessBase>> processes_;
@@ -131,14 +191,21 @@ class Engine {
   /// Senders needing per-recipient delivery decisions (unicast messages, or
   /// crashed this round with a subset delivery mask), ascending.
   std::vector<ProcessId> special_senders_;
+  /// Parallel to special_senders_: crashed-this-round flag, snapshotted
+  /// serially after the adversary phase. Workers must not read status_ for
+  /// foreign ids during the fan-out — a recipient halting in on_receive
+  /// writes its own status_ slot concurrently. Crashes cannot happen
+  /// mid-delivery, so the snapshot equals what a live read would return.
+  std::vector<char> special_sender_crashed_;
   /// Per-recipient flag: some special sender delivers to this recipient, so
   /// its inbox differs from the shared plan.
   std::vector<char> custom_recipient_;
-  /// Assembly arena for one custom recipient's inbox (shared plan merged
-  /// with its special deliveries), reused across recipients and rounds.
-  std::vector<Envelope> custom_inbox_;
-  /// Round-scoped payload decode cache stamped into delivered envelopes.
-  DecodeCache decode_cache_;
+
+  // -- Intra-round parallel executor ---------------------------------------
+  /// One WorkerState per executor thread (exactly one when serial); the
+  /// pool exists only when the resolved thread count exceeds one.
+  std::vector<WorkerState> workers_;
+  std::unique_ptr<util::ThreadPool> pool_;
 
   Metrics metrics_;
   RoundNumber next_round_ = 0;

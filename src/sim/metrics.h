@@ -17,9 +17,17 @@ struct RoundTraffic {
   std::uint64_t deliveries = 0;
   /// Sum of payload sizes over physical deliveries.
   std::uint64_t bytes_delivered = 0;
+
+  bool operator==(const RoundTraffic&) const = default;
 };
 
 /// Aggregated traffic and progress counters for one run.
+///
+/// Every counter is an integer sum (or max) over per-message values, so any
+/// grouping of the accounting — per envelope, per delivery plan, or folded
+/// from the parallel executor's per-worker shards — yields bit-identical
+/// totals. tests/engine_parallel_test.cpp asserts this equality (operator==
+/// below) across engine thread counts.
 struct Metrics {
   std::vector<RoundTraffic> per_round;
 
@@ -60,6 +68,8 @@ struct Metrics {
   }
 
   void begin_round() { per_round.emplace_back(); }
+
+  bool operator==(const Metrics&) const = default;
 };
 
 }  // namespace bil::sim

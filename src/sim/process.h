@@ -24,6 +24,14 @@ namespace bil::sim {
 /// Implementations must be deterministic functions of (construction
 /// arguments, received messages): all randomness must come from a generator
 /// seeded at construction, never from global state.
+///
+/// Concurrency contract: with EngineConfig::num_threads > 1 the engine
+/// invokes different processes' on_send / on_receive concurrently within a
+/// phase (never two calls on the same process). An implementation must
+/// therefore confine its mutable state to itself; anything shared between
+/// processes (e.g. the tree::TreeShape every ball derives from n) must be
+/// immutable after construction. Determinism plus confinement is exactly
+/// what makes intra-round parallelism an identity-preserving optimization.
 class ProcessBase {
  public:
   ProcessBase() = default;

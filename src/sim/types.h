@@ -4,7 +4,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -29,12 +29,55 @@ using RoundNumber = std::uint32_t;
 
 class DecodeCache;
 
+/// Round-scoped store of immutable encoded payloads.
+///
+/// Every send used to wrap its buffer in a std::make_shared<const
+/// wire::Buffer> — one control-block allocation per message plus atomic
+/// refcount traffic on every Envelope copy (a broadcast's payload is copied
+/// into the shared plan and again into every custom inbox that embeds it).
+/// The arena replaces ownership-by-refcount with ownership-by-scope: each
+/// Outbox interns its payloads into its own arena, messages and envelopes
+/// carry plain `const wire::Buffer*` handles, and reset() recycles the slots
+/// when the outbox is cleared for the next round. Slots live in a deque, so
+/// handles stay valid as later sends grow the arena.
+///
+/// Lifetime contract (unchanged from the shared_ptr design, now explicit): a
+/// payload handle is valid from intern() until the owning outbox's next
+/// clear(), i.e. through adversary inspection and the whole delivery round.
+/// Nothing may retain a handle across rounds — the round-scoped DecodeCache
+/// is cleared before each round's first lookup for exactly this reason.
+class PayloadArena {
+ public:
+  /// Moves `payload` into the next slot and returns its round-stable
+  /// address. Recycled slots release their previous round's allocation here
+  /// (the move assignment), so steady state costs one buffer handoff per
+  /// send and no refcounting anywhere.
+  const wire::Buffer* intern(wire::Buffer&& payload) {
+    if (used_ == slots_.size()) {
+      slots_.emplace_back(std::move(payload));
+    } else {
+      slots_[used_] = std::move(payload);
+    }
+    return &slots_[used_++];
+  }
+
+  /// Marks every slot reusable. Outstanding handles become invalid.
+  void reset() noexcept { used_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+
+ private:
+  std::deque<wire::Buffer> slots_;
+  std::size_t used_ = 0;
+};
+
 /// A message as seen by its recipient.
 struct Envelope {
   ProcessId from = kNoProcess;
-  /// Shared, immutable payload: a broadcast to n recipients shares one
-  /// buffer rather than copying it n times.
-  std::shared_ptr<const wire::Buffer> payload;
+  /// Borrowed immutable payload, owned by the sender's outbox arena: a
+  /// broadcast to n recipients shares one buffer rather than copying it n
+  /// times. Valid for the duration of the delivery round (see PayloadArena).
+  const wire::Buffer* payload = nullptr;
   /// Round-scoped decode cache of the delivering engine (see
   /// sim/decode_cache.h); null for envelopes built outside an engine.
   /// Recipients decode through sim::decode_cached so each unique buffer is
@@ -51,11 +94,14 @@ struct OutboundMessage {
   bool broadcast = false;
   /// Meaningful only when !broadcast.
   ProcessId to = kNoProcess;
-  std::shared_ptr<const wire::Buffer> payload;
+  /// Arena handle; same lifetime as Envelope::payload.
+  const wire::Buffer* payload = nullptr;
 };
 
 /// Collects the messages a process emits in one round. The engine clears and
 /// hands a fresh outbox to each alive process at the start of every round.
+/// Each outbox owns the arena its payloads live in, so concurrent senders
+/// (the engine's parallel send fan-out) never contend on a shared allocator.
 class Outbox {
  public:
   /// Sends `payload` to every process, including the sender itself (the
@@ -65,7 +111,7 @@ class Outbox {
     messages_.push_back(OutboundMessage{
         .broadcast = true,
         .to = kNoProcess,
-        .payload = std::make_shared<const wire::Buffer>(std::move(payload))});
+        .payload = arena_.intern(std::move(payload))});
   }
 
   /// Unicast to a single process.
@@ -73,17 +119,24 @@ class Outbox {
     messages_.push_back(OutboundMessage{
         .broadcast = false,
         .to = to,
-        .payload = std::make_shared<const wire::Buffer>(std::move(payload))});
+        .payload = arena_.intern(std::move(payload))});
   }
 
   [[nodiscard]] std::span<const OutboundMessage> messages() const noexcept {
     return messages_;
   }
   [[nodiscard]] bool empty() const noexcept { return messages_.empty(); }
-  void clear() noexcept { messages_.clear(); }
+
+  /// Drops the round's messages and recycles their payload slots. Handles
+  /// obtained from messages() are invalid afterwards.
+  void clear() noexcept {
+    messages_.clear();
+    arena_.reset();
+  }
 
  private:
   std::vector<OutboundMessage> messages_;
+  PayloadArena arena_;
 };
 
 }  // namespace bil::sim

@@ -1,0 +1,124 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace bil::util {
+
+ThreadPool::ThreadPool(std::uint32_t num_threads) {
+  BIL_REQUIRE(num_threads >= 1, "a pool needs at least the caller thread");
+  workers_.reserve(num_threads - 1);
+  for (std::uint32_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::uint32_t ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(
+    std::uint32_t chunk) const noexcept {
+  const std::size_t threads = workers_.size() + 1;
+  const std::size_t base = count_ / threads;
+  const std::size_t extra = count_ % threads;
+  // The first `extra` chunks take base+1 items, the rest base — contiguous,
+  // covering [0, count_) exactly, and a pure function of (count_, threads).
+  const std::size_t begin =
+      chunk * base + std::min<std::size_t>(chunk, extra);
+  const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::run_chunk(std::uint32_t chunk) {
+  const auto [begin, end] = chunk_range(chunk);
+  if (begin == end) {
+    return;
+  }
+  (*fn_)(chunk, begin, end);
+}
+
+void ThreadPool::worker_loop(std::uint32_t chunk) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = generation_;
+    }
+    std::exception_ptr error;
+    try {
+      run_chunk(chunk);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
+      if (--pending_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t count,
+    const std::function<void(std::uint32_t, std::size_t, std::size_t)>& fn) {
+  if (workers_.empty()) {
+    count_ = count;
+    fn_ = &fn;
+    run_chunk(0);
+    fn_ = nullptr;
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    count_ = count;
+    fn_ = &fn;
+    first_error_ = nullptr;
+    pending_ = static_cast<std::uint32_t>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr caller_error;
+  try {
+    run_chunk(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+    // The caller's chunk failed "first" from its own point of view; prefer
+    // it so the serial and parallel paths surface the same exception when
+    // only chunk 0's range misbehaves.
+    error = caller_error ? caller_error : first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace bil::util

@@ -1,0 +1,83 @@
+// Reusable fork-join worker pool for intra-round engine parallelism.
+//
+// The synchronous engine dispatches two fan-outs per round (on_send over
+// alive senders, on_receive over recipients) with a serial adversary step
+// between them — thousands of tiny parallel regions per run. Spawning
+// std::threads per region would dominate the work, so the pool keeps its
+// workers alive across regions: parallel_chunks wakes them, each executes a
+// fixed contiguous chunk of the index space, and the call returns when all
+// chunks (including the caller's own) are done.
+//
+// Determinism: the chunk boundaries are a pure function of (count,
+// num_threads) — chunk w always covers the same index range — so callers
+// can keep per-chunk state (metric shards, scratch arenas) and reduce it in
+// chunk order for results that are bit-identical to a serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bil::util {
+
+class ThreadPool {
+ public:
+  /// Total parallelism: the caller plus num_threads-1 worker threads.
+  /// num_threads must be >= 1; 1 means every region runs inline on the
+  /// caller with no worker threads at all.
+  explicit ThreadPool(std::uint32_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size() + 1);
+  }
+
+  /// std::thread::hardware_concurrency(), never 0.
+  [[nodiscard]] static std::uint32_t hardware_threads();
+
+  /// Splits [0, count) into num_threads contiguous chunks and runs
+  /// fn(chunk, begin, end) for every non-empty chunk — chunk w on worker
+  /// w-1, chunk 0 on the caller. Blocks until every chunk finished. If any
+  /// chunk throws, the first exception (in completion order) is rethrown on
+  /// the caller after the join, so a contract violation inside a parallel
+  /// region propagates exactly like its serial counterpart.
+  ///
+  /// Not reentrant: chunks must not call parallel_chunks on the same pool.
+  void parallel_chunks(std::size_t count,
+                       const std::function<void(std::uint32_t chunk,
+                                                std::size_t begin,
+                                                std::size_t end)>& fn);
+
+ private:
+  void worker_loop(std::uint32_t chunk);
+  void run_chunk(std::uint32_t chunk);
+
+  /// [begin, end) of `chunk` for the current region (count_ items over
+  /// num_threads() chunks, remainder spread over the leading chunks).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_range(
+      std::uint32_t chunk) const noexcept;
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  /// Incremented per region; workers run when their seen count lags.
+  std::uint64_t generation_ = 0;
+  std::uint32_t pending_ = 0;
+  bool stopping_ = false;
+  std::size_t count_ = 0;
+  const std::function<void(std::uint32_t, std::size_t, std::size_t)>* fn_ =
+      nullptr;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace bil::util

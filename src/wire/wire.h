@@ -32,6 +32,19 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Exact encoded size of Writer::varint(value), in bytes (1..10). Encoders
+/// sum these to seed Writer's reserve constructor with the true payload
+/// size, so the hot broadcast encode paths allocate exactly once and never
+/// reallocate mid-encode regardless of n or label magnitude.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
 /// Append-only encoder.
 class Writer {
  public:

@@ -3,6 +3,7 @@
 // protocol's phase structure.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <set>
 #include <vector>
@@ -70,6 +71,27 @@ TEST(Messages, PathMessageIsCompact) {
   const wire::Buffer encoded = core::encode_message(
       core::PathMsg{.label = 1 << 20, .start = 1 << 18, .target = 1 << 19});
   EXPECT_LE(encoded.size(), 12u);
+}
+
+// encoded_size seeds encode_message's Writer reserve; if it ever drifts
+// from the encoder, an under-estimate silently reintroduces the mid-encode
+// reallocation it exists to remove. Pin exactness across small and
+// varint-boundary-sized fields for every variant alternative.
+TEST(Messages, EncodedSizePredictsEncodedLength) {
+  const core::Message probes[] = {
+      core::InitMsg{.label = 0},
+      core::InitMsg{.label = 0xDEADBEEFCAFEULL},
+      core::PathMsg{.label = 42, .start = 3, .target = 11},
+      core::PathMsg{.label = std::numeric_limits<std::uint64_t>::max(),
+                    .start = 1 << 18,
+                    .target = (1 << 19) + 127},
+      core::PositionMsg{.label = 7, .node = 12},
+      core::PositionMsg{.label = 1 << 28, .node = 1 << 14},
+  };
+  for (const core::Message& message : probes) {
+    EXPECT_EQ(core::encoded_size(message),
+              core::encode_message(message).size());
+  }
 }
 
 // ---- Fault-free end-to-end runs -------------------------------------------

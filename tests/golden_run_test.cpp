@@ -14,7 +14,10 @@
 //   $ build/golden_gen > tests/golden_values.inc
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harness/golden.h"
+#include "util/thread_pool.h"
 
 namespace bil::harness {
 namespace {
@@ -27,11 +30,12 @@ TEST(GoldenRuns, GridMatchesTableSize) {
   EXPECT_EQ(golden_grid().size(), std::size(kGolden));
 }
 
-TEST(GoldenRuns, EveryCellIsBitIdentical) {
+void expect_grid_matches(std::uint32_t engine_threads) {
   const std::vector<GoldenCell> grid = golden_grid();
   ASSERT_EQ(grid.size(), std::size(kGolden));
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    const GoldenObservation observed = run_golden_cell(grid[i]);
+    const GoldenObservation observed =
+        run_golden_cell(grid[i], engine_threads);
     const GoldenObservation& expected = kGolden[i];
     EXPECT_EQ(observed.rounds, expected.rounds) << describe(grid[i]);
     EXPECT_EQ(observed.total_rounds, expected.total_rounds)
@@ -44,8 +48,20 @@ TEST(GoldenRuns, EveryCellIsBitIdentical) {
     EXPECT_EQ(observed.max_payload_bytes, expected.max_payload_bytes)
         << describe(grid[i]);
     EXPECT_EQ(observed.names_hash, expected.names_hash)
-        << describe(grid[i]) << " — decided names diverged";
+        << describe(grid[i]) << " — decided names diverged (engine_threads="
+        << engine_threads << ")";
   }
+}
+
+TEST(GoldenRuns, EveryCellIsBitIdentical) { expect_grid_matches(1); }
+
+// The intra-round parallel executor must reproduce the same pinned table:
+// the fan-out across worker threads may not change a single observable. At
+// least 4 workers even on small machines, so the pool dispatch path (not
+// the serial fallback) is what runs.
+TEST(GoldenRuns, EveryCellIsBitIdenticalWithMaxEngineThreads) {
+  expect_grid_matches(
+      std::max(4u, bil::util::ThreadPool::hardware_threads()));
 }
 
 }  // namespace

@@ -67,6 +67,26 @@ TEST(Wire, VarintSizes) {
   EXPECT_EQ(encoded_size(std::numeric_limits<std::uint64_t>::max()), 10u);
 }
 
+// varint_size (the encoders' reserve estimator) must agree with the actual
+// encoded length everywhere, including the 7-bit group boundaries.
+TEST(Wire, VarintSizePredictsEncodedLength) {
+  const auto encoded_size = [](std::uint64_t v) {
+    Writer writer;
+    writer.varint(v);
+    return std::move(writer).take().size();
+  };
+  std::vector<std::uint64_t> probes{0, 1};
+  for (int shift = 7; shift < 64; shift += 7) {
+    const std::uint64_t boundary = std::uint64_t{1} << shift;
+    probes.push_back(boundary - 1);
+    probes.push_back(boundary);
+  }
+  probes.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (std::uint64_t v : probes) {
+    EXPECT_EQ(varint_size(v), encoded_size(v)) << "value " << v;
+  }
+}
+
 TEST(Wire, VarintRejectsOverflow) {
   // 10 continuation bytes with a final byte > 1 overflows 64 bits.
   Buffer buffer(10, std::byte{0xFF});

@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
   std::uint64_t per_round = 2;
   std::string backend = "auto";
   std::uint64_t threads = 0;
+  std::uint64_t engine_threads = 0;
   bool eager_decide = false;
   bool csv = false;
   bool json = false;
@@ -149,7 +150,13 @@ int main(int argc, char** argv) {
   flags.add_string("backend", &backend,
                    "auto|engine|fast-sim (auto: fast single-view simulator "
                    "for large crash-free tree cells)");
-  flags.add_uint("threads", &threads, "sweep worker threads (0 = all cores)");
+  flags.add_uint("threads", &threads,
+                 "sweep thread budget: run workers x engine threads "
+                 "(0 = all cores)");
+  flags.add_uint("engine-threads", &engine_threads,
+                 "intra-round engine threads per run; results are "
+                 "bit-identical for any value (0 = auto: parallel runs "
+                 "first, leftover budget to the engine; 1 = serial rounds)");
   flags.add_bool("eager-decide", &eager_decide,
                  "decide at leaf arrival instead of at global completion");
   flags.add_bool("csv", &csv, "machine-readable table output");
@@ -201,10 +208,13 @@ int main(int argc, char** argv) {
                 "--seeds is out of range");
     BIL_REQUIRE(threads <= std::numeric_limits<std::uint32_t>::max(),
                 "--threads is out of range");
+    BIL_REQUIRE(engine_threads <= std::numeric_limits<std::uint32_t>::max(),
+                "--engine-threads is out of range");
     spec.seeds = static_cast<std::uint32_t>(seeds);
     spec.seed_base = seed_base;
     spec.backend = api::parse_backend(backend);
     spec.threads = static_cast<std::uint32_t>(threads);
+    spec.engine_threads = static_cast<std::uint32_t>(engine_threads);
     spec.termination = eager_decide ? core::TerminationMode::kEagerLeaf
                                     : core::TerminationMode::kGlobal;
     // Per-seed rows are only printed for single-cell grids; don't retain
