@@ -1,0 +1,593 @@
+#include "report/presets.h"
+
+#include <sstream>
+
+#include "util/contract.h"
+#include "util/math.h"
+
+namespace bil::report {
+
+namespace {
+
+using harness::AdversaryKind;
+using harness::AdversarySpec;
+using harness::Algorithm;
+
+/// n = 2^lo, 2^(lo+step), ..., 2^hi.
+std::vector<std::uint32_t> pow2_grid(std::uint32_t lo, std::uint32_t hi,
+                                     std::uint32_t step = 1) {
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t exp = lo; exp <= hi; exp += step) {
+    values.push_back(1u << exp);
+  }
+  return values;
+}
+
+/// Gossip resilience t = ceil(log2 n): turns the flooding baseline into the
+/// Θ(log n) reference curve (t+1 = log2 n + 1 rounds exactly on power-of-two
+/// grids) that the sub-logarithmic claims are measured against.
+std::uint32_t log_resilience(std::uint32_t n) { return ceil_log2(n); }
+
+/// f init-round crashes, each final broadcast reaching a random half of the
+/// survivors — the label-exchange attack of Theorems 3/4 and Appendix B.
+AdversarySpec init_round_crashes(std::uint32_t /*n*/, std::uint32_t f) {
+  if (f == 0) {
+    return {};
+  }
+  return {.kind = AdversaryKind::kBurst,
+          .crashes = f,
+          .when = 0,
+          .subset = sim::SubsetPolicy::kRandomHalf};
+}
+
+PresetSpec rounds_vs_n_preset() {
+  PresetSpec preset;
+  preset.name = "rounds-vs-n";
+  preset.title = "Rounds vs n: the sub-logarithmic separation";
+  preset.description =
+      "Theorem 2 and the paper's §1 headline: randomized Balls-into-Leaves "
+      "renames in O(log log n) rounds w.h.p., exponentially faster than the "
+      "Θ(log n) class of deterministic comparison-based renaming "
+      "(`halving`, the Chaudhuri–Herlihy–Tuttle complexity class) and the "
+      "tree-free randomized retry baseline (`naive-bins`). Gossip is run "
+      "with the unfairly generous resilience t = ⌈log₂ n⌉ so that its "
+      "exactly-(t+1)-round flooding becomes the log₂ n reference line the "
+      "sub-logarithmic claim is checked against (wait-free gossip, the "
+      "paper's actual comparison point, needs t+1 = n rounds and would only "
+      "widen the gap). Tree algorithms run on the fast single-view backend "
+      "(bit-identical to the engine on crash-free runs); the baselines that "
+      "need the wire run on the exact engine.";
+
+  // 50 seeds to 2^18: the iterated-log model only separates from the log
+  // model decisively once the curve's flattening outweighs seed noise —
+  // 20 seeds to 2^16 leaves the two fits statistically tied.
+  SeriesSpec bil;
+  bil.label = "balls-into-leaves";
+  bil.algorithm = Algorithm::kBallsIntoLeaves;
+  bil.n_values = pow2_grid(4, 18);
+  bil.seeds = 50;
+  bil.backend = api::BackendKind::kFastSim;
+  preset.series.push_back(bil);
+
+  SeriesSpec halving;
+  halving.label = "halving";
+  halving.algorithm = Algorithm::kHalving;
+  halving.n_values = pow2_grid(4, 18);
+  halving.seeds = 1;  // deterministic
+  halving.backend = api::BackendKind::kFastSim;
+  preset.series.push_back(halving);
+
+  SeriesSpec rank;
+  rank.label = "rank-descent";
+  rank.algorithm = Algorithm::kRankDescent;
+  rank.n_values = pow2_grid(4, 18);
+  rank.seeds = 1;  // deterministic
+  rank.backend = api::BackendKind::kFastSim;
+  preset.series.push_back(rank);
+
+  SeriesSpec gossip;
+  gossip.label = "gossip-log-t";
+  gossip.algorithm = Algorithm::kGossip;
+  gossip.n_values = pow2_grid(4, 9);
+  gossip.seeds = 2;
+  gossip.backend = api::BackendKind::kEngine;
+  gossip.gossip_t = log_resilience;
+  preset.series.push_back(gossip);
+
+  SeriesSpec bins;
+  bins.label = "naive-bins";
+  bins.algorithm = Algorithm::kNaiveBins;
+  bins.n_values = pow2_grid(4, 9);
+  bins.seeds = 10;
+  bins.backend = api::BackendKind::kEngine;
+  preset.series.push_back(bins);
+
+  preset.claims.push_back(
+      {.name = "bil-loglog-shape",
+       .statement =
+           "Balls-into-Leaves rounds are best explained by the iterated-log "
+           "model a*log2(log2 n)+b, not a*log2(n)+b (Theorem 2 shape).",
+       .kind = ClaimKind::kBestModelLogLog,
+       .series = "balls-into-leaves",
+       .min_r2 = 0.95});
+  preset.claims.push_back(
+      {.name = "bil-sublog-vs-gossip",
+       .statement =
+           "Balls-into-Leaves rounds grow strictly slower than the gossip "
+           "baseline's log n fit (paper S1: exponential separation).",
+       .kind = ClaimKind::kSlowerThan,
+       .series = "balls-into-leaves",
+       .reference = "gossip-log-t",
+       .factor = 0.5});
+  preset.claims.push_back(
+      {.name = "bil-sublog-vs-naive-bins",
+       .statement =
+           "Balls-into-Leaves also grows strictly slower than the "
+           "unstructured randomized-retry baseline's log n fit.",
+       .kind = ClaimKind::kSlowerThan,
+       .series = "balls-into-leaves",
+       .reference = "naive-bins",
+       .factor = 0.6});
+  preset.claims.push_back(
+      {.name = "gossip-log-shape",
+       .statement =
+           "Log-resilience gossip is exactly t+1 = log2(n)+1 rounds: log2 "
+           "slope 1, R^2 ~ 1.",
+       .kind = ClaimKind::kLogSlopeBand,
+       .series = "gossip-log-t",
+       .min_r2 = 0.999,
+       .lo = 0.95,
+       .hi = 1.05});
+  preset.claims.push_back(
+      {.name = "halving-log-shape",
+       .statement =
+           "Deterministic halving descends one tree level per phase: "
+           "exactly 2*log2(n)+1 rounds (the Theta(log n) class).",
+       .kind = ClaimKind::kLogSlopeBand,
+       .series = "halving",
+       .min_r2 = 0.999,
+       .lo = 1.95,
+       .hi = 2.05});
+  return preset;
+}
+
+PresetSpec crash_ablation_preset() {
+  PresetSpec preset;
+  preset.name = "crash-ablation";
+  preset.title = "Crash-adversary ablation: crashes do not slow BiL down";
+  preset.description =
+      "§5.3's argument: a crash only ever increases the slack available to "
+      "the surviving balls, so an adversary gains at most the stale-entry "
+      "purge phases. Every implemented crash strategy — including the "
+      "protocol-aware adaptive ones that read the round's coin flips off "
+      "the wire before choosing victims — runs at n = 256 on the exact "
+      "engine, and each one's mean rounds must stay within a small "
+      "constant factor of the failure-free baseline.";
+
+  const std::uint32_t n = 256;
+  const auto add = [&preset, n](const char* label, AdversarySpec spec) {
+    SeriesSpec series;
+    series.label = label;
+    series.algorithm = Algorithm::kBallsIntoLeaves;
+    series.n_values = {n};
+    series.seeds = 10;
+    series.backend = api::BackendKind::kEngine;
+    if (spec.kind != AdversaryKind::kNone) {
+      series.adversary = [spec](std::uint32_t, std::uint32_t) { return spec; };
+    }
+    preset.series.push_back(std::move(series));
+  };
+  add("failure-free", {});
+  add("oblivious", {.kind = AdversaryKind::kOblivious, .crashes = n / 4});
+  add("burst", {.kind = AdversaryKind::kBurst, .crashes = n / 2, .when = 1});
+  add("sandwich", {.kind = AdversaryKind::kSandwich,
+                   .crashes = n - 1,
+                   .per_round = 1});
+  add("eager", {.kind = AdversaryKind::kEager,
+                .crashes = n / 2,
+                .when = 0,
+                .per_round = 4});
+  add("targeted-winner", {.kind = AdversaryKind::kTargetedWinner,
+                          .crashes = n / 2,
+                          .per_round = 2,
+                          .subset = sim::SubsetPolicy::kAlternating});
+  add("targeted-announcer", {.kind = AdversaryKind::kTargetedAnnouncer,
+                             .crashes = n / 2,
+                             .per_round = 2});
+
+  for (const char* label :
+       {"oblivious", "burst", "sandwich", "eager", "targeted-winner",
+        "targeted-announcer"}) {
+    preset.claims.push_back(
+        {.name = std::string("crashes-dont-slow-") + label,
+         .statement = std::string("Under the ") + label +
+                      " adversary, mean rounds stay within a small constant "
+                      "factor of failure-free (S5.3).",
+         .kind = ClaimKind::kRatioBound,
+         .series = label,
+         .reference = "failure-free",
+         .metric = Metric::kRoundsMean,
+         .factor = 2.5});
+  }
+  preset.claims.push_back(
+      {.name = "worst-case-bounded",
+       .statement =
+           "Even the sandwich label-exchange attack stays far below the "
+           "engine's 16n+64 deterministic round cap (Lemma 11 margin).",
+       .kind = ClaimKind::kAbsoluteBound,
+       .series = "sandwich",
+       .metric = Metric::kRoundsMax,
+       .bound = 64});
+  return preset;
+}
+
+PresetSpec message_cost_preset() {
+  PresetSpec preset;
+  preset.name = "message-cost";
+  preset.title = "Message and byte cost of the rounds";
+  preset.description =
+      "The model charges one round per lock-step exchange; this preset "
+      "reports what the rounds cost on the wire. Balls-into-Leaves is a "
+      "full-broadcast protocol — exactly n² deliveries per round — with "
+      "O(log n)-bit payloads (endpoint-encoded candidate paths), while "
+      "gossip's payloads grow to Θ(n log n) bits (the whole id set): the "
+      "hidden constant behind its \"simple\" approach. Engine backend "
+      "throughout (the fast simulator never materializes payloads).";
+
+  SeriesSpec bil;
+  bil.label = "bil-traffic";
+  bil.algorithm = Algorithm::kBallsIntoLeaves;
+  bil.n_values = pow2_grid(4, 10);
+  bil.seeds = 5;
+  bil.backend = api::BackendKind::kEngine;
+  preset.series.push_back(bil);
+
+  SeriesSpec gossip;
+  gossip.label = "gossip-traffic";
+  gossip.algorithm = Algorithm::kGossip;
+  gossip.n_values = pow2_grid(4, 9);
+  gossip.seeds = 2;
+  gossip.backend = api::BackendKind::kEngine;
+  gossip.gossip_t = log_resilience;
+  preset.series.push_back(gossip);
+
+  preset.claims.push_back(
+      {.name = "broadcast-exact",
+       .statement =
+           "Crash-free BiL is all-broadcast: measured deliveries are "
+           "exactly n^2 per round, every run.",
+       .kind = ClaimKind::kEqualsBound,
+       .series = "bil-traffic",
+       .metric = Metric::kBroadcastRatio,
+       .bound = 1.0,
+       .tol = 1e-9});
+  preset.claims.push_back(
+      {.name = "bil-payload-polylog",
+       .statement =
+           "BiL's mean payload per delivery grows polylogarithmically: the "
+           "power-law exponent of bytes/message vs n is far below linear.",
+       .kind = ClaimKind::kPowerExponentBand,
+       .series = "bil-traffic",
+       .metric = Metric::kBytesPerMessage,
+       .min_r2 = 0.5,
+       .lo = 0.0,
+       .hi = 0.35});
+  preset.claims.push_back(
+      {.name = "gossip-payload-linear",
+       .statement =
+           "Gossip's mean payload per delivery grows ~linearly in n (the "
+           "whole id set travels every round).",
+       .kind = ClaimKind::kPowerExponentBand,
+       .series = "gossip-traffic",
+       .metric = Metric::kBytesPerMessage,
+       .min_r2 = 0.95,
+       .lo = 0.75,
+       .hi = 1.25});
+  preset.claims.push_back(
+      {.name = "bil-vs-gossip-payload",
+       .statement =
+           "From n = 64 on, BiL moves at most an eighth of gossip's bytes "
+           "per delivered message — and the gap keeps widening (at n = 16 "
+           "gossip's id set is still small enough that the ratio is only "
+           "~4x).",
+       .kind = ClaimKind::kRatioBound,
+       .series = "bil-traffic",
+       .reference = "gossip-traffic",
+       .metric = Metric::kBytesPerMessage,
+       .factor = 0.125,
+       .min_x = 64});
+  return preset;
+}
+
+PresetSpec early_termination_preset() {
+  PresetSpec preset;
+  preset.name = "early-termination";
+  preset.title = "Early termination: O(1) failure-free, grows with f not n";
+  preset.description =
+      "Theorems 3 and 4: the §6 early-terminating extension decides in a "
+      "constant number of rounds when nothing crashes (one deterministic "
+      "rank-indexed phase), and in O(log log f) rounds when f processes "
+      "crash during the label exchange — the cost scales with the damage "
+      "f, not with n. The f-axis sweep runs the exact engine at n = 512 "
+      "with f init-round crashes whose final broadcasts reach a random "
+      "half of the survivors (the Appendix B attack that shifts survivor "
+      "ranks and collides the deterministic first descent).";
+
+  const std::uint32_t n = 512;
+
+  SeriesSpec failure_free;
+  failure_free.label = "early-failure-free";
+  failure_free.algorithm = Algorithm::kEarlyTerminating;
+  failure_free.n_values = {n};
+  failure_free.seeds = 6;
+  failure_free.backend = api::BackendKind::kEngine;
+  preset.series.push_back(failure_free);
+
+  SeriesSpec crashes;
+  crashes.label = "early-crashes";
+  crashes.algorithm = Algorithm::kEarlyTerminating;
+  crashes.n_values = {n};
+  crashes.f_values = {1, 4, 16, 64, 256};
+  crashes.seeds = 6;
+  crashes.backend = api::BackendKind::kEngine;
+  crashes.adversary = init_round_crashes;
+  preset.series.push_back(crashes);
+
+  SeriesSpec plain;
+  plain.label = "plain-bil-512";
+  plain.algorithm = Algorithm::kBallsIntoLeaves;
+  plain.n_values = {n};
+  plain.seeds = 6;
+  plain.backend = api::BackendKind::kEngine;
+  preset.series.push_back(plain);
+
+  preset.claims.push_back(
+      {.name = "early-constant-failure-free",
+       .statement =
+           "With zero crashes the extension decides in exactly 3 rounds "
+           "(Theorem 3: one deterministic phase).",
+       .kind = ClaimKind::kEqualsBound,
+       .series = "early-failure-free",
+       .metric = Metric::kRoundsMean,
+       .bound = 3.0,
+       .tol = 1e-9});
+  preset.claims.push_back(
+      {.name = "early-bounded-by-f",
+       .statement =
+           "Rounds under f init-round crashes stay bounded across the "
+           "whole f sweep (Theorem 4: O(log log f) decay).",
+       .kind = ClaimKind::kAbsoluteBound,
+       .series = "early-crashes",
+       .metric = Metric::kRoundsMean,
+       .bound = 12.0});
+  preset.claims.push_back(
+      {.name = "early-never-worse-than-plain",
+       .statement =
+           "Even at f = n/2 the extension stays within 1.5x of plain "
+           "Balls-into-Leaves at the same n (S6: it degrades into plain "
+           "BiL, it never loses to it asymptotically).",
+       .kind = ClaimKind::kRatioBound,
+       .series = "early-crashes",
+       .reference = "plain-bil-512",
+       .metric = Metric::kRoundsMean,
+       .factor = 1.5});
+  return preset;
+}
+
+PresetSpec load_balancing_gap_preset() {
+  PresetSpec preset;
+  preset.name = "load-balancing-gap";
+  preset.title = "Load balancing is not renaming";
+  preset.description =
+      "The paper's §1–§2 observation, made quantitative: the classic "
+      "parallel power-of-two-choices allocator produces a beautifully "
+      "balanced allocation — and an invalid renaming, because balance is "
+      "measured in max load while renaming requires max load exactly one. "
+      "Every run of the idealized fault-free allocator leaves colliding "
+      "balls; Balls-into-Leaves delivers the one-to-one guarantee (with "
+      "crash tolerance) in a comparable number of rounds.";
+
+  SeriesSpec two_choice;
+  two_choice.label = "two-choice";
+  two_choice.n_values = {256, 1024, 4096};
+  two_choice.seeds = 10;
+  two_choice.two_choice = true;
+  two_choice.two_choice_rounds = 3;
+  preset.series.push_back(two_choice);
+
+  SeriesSpec bil;
+  bil.label = "balls-into-leaves";
+  bil.algorithm = Algorithm::kBallsIntoLeaves;
+  bil.n_values = {256, 1024, 4096};
+  bil.seeds = 5;
+  bil.backend = api::BackendKind::kAuto;
+  preset.series.push_back(bil);
+
+  preset.claims.push_back(
+      {.name = "two-choice-collides",
+       .statement =
+           "Parallel two-choice never yields a renaming: every run at "
+           "every n leaves at least one colliding ball.",
+       .kind = ClaimKind::kAlwaysColliding,
+       .series = "two-choice"});
+  preset.claims.push_back(
+      {.name = "two-choice-balanced",
+       .statement =
+           "Yet the allocation is balanced — worst max load stays O(1) — "
+           "which is exactly why load-balancing guarantees do not compose "
+           "into tight renaming.",
+       .kind = ClaimKind::kAbsoluteBound,
+       .series = "two-choice",
+       .metric = Metric::kMaxLoadMax,
+       .bound = 8});
+  return preset;
+}
+
+PresetSpec ci_preset() {
+  PresetSpec preset;
+  preset.name = "ci";
+  preset.title = "CI smoke grid (reduced, deterministic)";
+  preset.description =
+      "A minutes-scale subset of the full presets with identical claim "
+      "machinery: CI runs `bil_report --preset ci --json` in Release mode "
+      "and fails on any claim-verdict drift. Grids are small enough for a "
+      "shared runner; tolerance bands are correspondingly looser than the "
+      "full `--preset all` grid.";
+
+  SeriesSpec bil;
+  bil.label = "balls-into-leaves";
+  bil.algorithm = Algorithm::kBallsIntoLeaves;
+  bil.n_values = {16, 64, 256};
+  bil.seeds = 5;
+  bil.backend = api::BackendKind::kEngine;
+  preset.series.push_back(bil);
+
+  SeriesSpec halving;
+  halving.label = "halving";
+  halving.algorithm = Algorithm::kHalving;
+  halving.n_values = {16, 64, 256};
+  halving.seeds = 1;
+  halving.backend = api::BackendKind::kEngine;
+  preset.series.push_back(halving);
+
+  SeriesSpec gossip;
+  gossip.label = "gossip-log-t";
+  gossip.algorithm = Algorithm::kGossip;
+  gossip.n_values = {16, 64, 256};
+  gossip.seeds = 1;
+  gossip.backend = api::BackendKind::kEngine;
+  gossip.gossip_t = log_resilience;
+  preset.series.push_back(gossip);
+
+  SeriesSpec two_choice;
+  two_choice.label = "two-choice";
+  two_choice.n_values = {256};
+  two_choice.seeds = 3;
+  two_choice.two_choice = true;
+  preset.series.push_back(two_choice);
+
+  preset.claims.push_back(
+      {.name = "ci-bil-sublog-vs-gossip",
+       .statement =
+           "Balls-into-Leaves rounds grow strictly slower than the gossip "
+           "baseline's log n fit, already visible on the reduced grid.",
+       .kind = ClaimKind::kSlowerThan,
+       .series = "balls-into-leaves",
+       .reference = "gossip-log-t",
+       .factor = 0.8});
+  preset.claims.push_back(
+      {.name = "ci-gossip-log-shape",
+       .statement = "Log-resilience gossip is exactly log2(n)+1 rounds.",
+       .kind = ClaimKind::kLogSlopeBand,
+       .series = "gossip-log-t",
+       .min_r2 = 0.999,
+       .lo = 0.95,
+       .hi = 1.05});
+  preset.claims.push_back(
+      {.name = "ci-halving-log-shape",
+       .statement = "Halving is exactly 2*log2(n)+1 rounds.",
+       .kind = ClaimKind::kLogSlopeBand,
+       .series = "halving",
+       .min_r2 = 0.999,
+       .lo = 1.95,
+       .hi = 2.05});
+  preset.claims.push_back(
+      {.name = "ci-broadcast-exact",
+       .statement = "Crash-free BiL deliveries are exactly n^2 per round.",
+       .kind = ClaimKind::kEqualsBound,
+       .series = "balls-into-leaves",
+       .metric = Metric::kBroadcastRatio,
+       .bound = 1.0,
+       .tol = 1e-9});
+  preset.claims.push_back(
+      {.name = "ci-two-choice-collides",
+       .statement = "Parallel two-choice never yields a renaming.",
+       .kind = ClaimKind::kAlwaysColliding,
+       .series = "two-choice"});
+  return preset;
+}
+
+std::vector<PresetSpec> build_registry() {
+  std::vector<PresetSpec> presets;
+  presets.push_back(rounds_vs_n_preset());
+  presets.push_back(crash_ablation_preset());
+  presets.push_back(message_cost_preset());
+  presets.push_back(early_termination_preset());
+  presets.push_back(load_balancing_gap_preset());
+  presets.push_back(ci_preset());
+  return presets;
+}
+
+}  // namespace
+
+const char* to_string(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kRoundsMean:
+      return "mean rounds";
+    case Metric::kRoundsMax:
+      return "max rounds";
+    case Metric::kMessagesMean:
+      return "mean messages";
+    case Metric::kBytesPerMessage:
+      return "bytes/message";
+    case Metric::kBroadcastRatio:
+      return "messages/(n^2*rounds)";
+    case Metric::kMaxLoadMax:
+      return "max load";
+  }
+  return "?";
+}
+
+const char* to_string(ClaimKind kind) noexcept {
+  switch (kind) {
+    case ClaimKind::kBestModelLogLog:
+      return "best-model-loglog";
+    case ClaimKind::kLogSlopeBand:
+      return "log-slope-band";
+    case ClaimKind::kPowerExponentBand:
+      return "power-exponent-band";
+    case ClaimKind::kSlowerThan:
+      return "slower-than";
+    case ClaimKind::kRatioBound:
+      return "ratio-bound";
+    case ClaimKind::kAbsoluteBound:
+      return "absolute-bound";
+    case ClaimKind::kEqualsBound:
+      return "equals-bound";
+    case ClaimKind::kAlwaysColliding:
+      return "always-colliding";
+  }
+  return "?";
+}
+
+const std::vector<PresetSpec>& preset_registry() {
+  static const std::vector<PresetSpec> registry = build_registry();
+  return registry;
+}
+
+const PresetSpec& find_preset(std::string_view name) {
+  for (const PresetSpec& preset : preset_registry()) {
+    if (preset.name == name) {
+      return preset;
+    }
+  }
+  std::ostringstream message;
+  message << "unknown preset '" << name << "'; registered presets: all, "
+          << preset_catalog();
+  BIL_REQUIRE(false, message.str());
+  // Unreachable; BIL_REQUIRE(false, ...) always throws.
+  throw std::logic_error("unreachable");
+}
+
+std::string preset_catalog() {
+  std::string catalog;
+  for (const PresetSpec& preset : preset_registry()) {
+    if (!catalog.empty()) {
+      catalog += '|';
+    }
+    catalog += preset.name;
+  }
+  return catalog;
+}
+
+}  // namespace bil::report

@@ -1,0 +1,116 @@
+// The paper-claims report pipeline: run presets, check claims, render.
+//
+// run_preset executes every series of a preset through the unified
+// bil::api sweep layer (or baselines::run_two_choice for the load-balancing
+// contrast), evaluates the preset's claims against the measured curves
+// (model fits from src/stats/fit.h), and returns the structured result.
+// The renderers turn a Report into the checked-in docs/results.md
+// (markdown tables + ASCII plots + SVG charts + per-claim PASS/FAIL
+// verdicts) or machine-readable JSON that CI diffs on the reduced "ci"
+// preset. The report layer is read-only over the sweep API: it never
+// touches engine or protocol state, so golden determinism is untouched.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/presets.h"
+#include "stats/summary.h"
+
+namespace bil::report {
+
+/// One measured grid point of a series.
+struct SeriesPoint {
+  /// Axis value: n for size sweeps, f for failure sweeps.
+  std::uint32_t x = 0;
+  /// Process count at this point (== x for size sweeps).
+  std::uint32_t n = 0;
+  api::BackendKind backend_used = api::BackendKind::kEngine;
+  stats::Summary rounds;
+  stats::Summary total_rounds;
+  stats::Summary messages;
+  /// Meaningful only when bytes_measured (engine-backed points).
+  stats::Summary bytes;
+  bool bytes_measured = false;
+  /// Two-choice points only: per-run max bin load and colliding-ball count.
+  stats::Summary max_load;
+  stats::Summary colliding;
+};
+
+struct SeriesResult {
+  SeriesSpec spec;
+  std::vector<SeriesPoint> points;
+};
+
+struct ClaimResult {
+  ClaimSpec spec;
+  bool pass = false;
+  /// Human-readable measured value ("slope=0.21, R²=0.98").
+  std::string measured;
+  /// Human-readable band it was checked against ("slope in [1.90, 2.10]").
+  std::string threshold;
+};
+
+struct PresetReport {
+  PresetSpec spec;
+  std::vector<SeriesResult> series;
+  std::vector<ClaimResult> claims;
+
+  [[nodiscard]] bool all_pass() const noexcept;
+};
+
+struct Report {
+  std::vector<PresetReport> presets;
+
+  [[nodiscard]] bool all_pass() const noexcept;
+  [[nodiscard]] std::size_t claim_count() const noexcept;
+  [[nodiscard]] std::size_t pass_count() const noexcept;
+
+  /// Stable machine-readable form (claims, verdicts, fitted curves, and
+  /// per-point summaries). Deterministic for a fixed registry: the sweep
+  /// layer is deterministic in the spec and doubles serialize losslessly.
+  void write_json(std::ostream& os) const;
+};
+
+struct RunOptions {
+  /// Sweep thread budget per point-spec (ExperimentSpec::threads).
+  std::uint32_t threads = 0;
+  /// Forwarded to ExperimentSpec::engine_threads (0 = auto).
+  std::uint32_t engine_threads = 0;
+  /// Progress lines (one per series) land here; null = silent. Keep this
+  /// off stdout when printing JSON there.
+  std::ostream* progress = nullptr;
+};
+
+/// Executes one preset: every series point through api::SweepRunner (or the
+/// two-choice allocator), then every claim against the measurements.
+[[nodiscard]] PresetReport run_preset(const PresetSpec& preset,
+                                      const RunOptions& options = {});
+
+/// Resolves names ("all" = every registered preset except "ci") and runs
+/// them in registry order.
+[[nodiscard]] Report run_presets(const std::vector<std::string>& names,
+                                 const RunOptions& options = {});
+
+struct MarkdownOptions {
+  /// Embed ![..](svg_rel_dir/<preset>.svg) links (set when write_svgs runs).
+  bool svg_links = false;
+  std::string svg_rel_dir = "plots";
+  /// The command line echoed in the "how to regenerate" header.
+  std::string command_line = "bil_report --preset all --out docs/results.md";
+};
+
+/// Renders the full report as markdown: verdict summary, per-preset
+/// measurement tables, model fits, ASCII plots, and claim tables.
+void write_markdown(const Report& report, std::ostream& os,
+                    const MarkdownOptions& options = {});
+
+/// Writes one SVG line chart (mean rounds vs axis, log₂-scaled x) per
+/// preset that has a multi-point series, as <dir>/<preset>.svg. Returns the
+/// file names written (without the directory).
+std::vector<std::string> write_svgs(const Report& report,
+                                    const std::string& dir);
+
+}  // namespace bil::report

@@ -80,4 +80,86 @@ template <typename Transform>
   return fit_linear(x, rounds);
 }
 
+// ---- Named complexity-model regressions -------------------------------------
+//
+// The report pipeline (src/report/) turns "sub-logarithmic" from a vibe into
+// a checked number: each claim fits the named models below and compares
+// slopes and R² against tolerance bands. All fits require n_values > 1
+// (and > 2 for the iterated log, where log₂ log₂ n would be ≤ 0).
+
+/// Semi-log regression: y ≈ a·log₂(n) + b. The Θ(log n) baselines
+/// (halving, log-resilience gossip) fit this with R² ≈ 1.
+[[nodiscard]] inline LinearFit fit_log2(std::span<const double> n_values,
+                                        std::span<const double> y) {
+  for (double n : n_values) {
+    BIL_REQUIRE(n > 1.0, "fit_log2 needs n > 1");
+  }
+  return fit_against(n_values, y, [](double n) { return std::log2(n); });
+}
+
+/// Iterated-log regression: y ≈ a·log₂(log₂ n) + b — the shape of the
+/// paper's Theorem 2 bound.
+[[nodiscard]] inline LinearFit fit_log2log2(std::span<const double> n_values,
+                                            std::span<const double> y) {
+  for (double n : n_values) {
+    BIL_REQUIRE(n > 2.0, "fit_log2log2 needs n > 2 (log2 log2 n must be > 0)");
+  }
+  return fit_against(n_values, y, [](double n) {
+    return std::log2(std::log2(n));
+  });
+}
+
+/// Log-log (power-law) regression: fits log₂(y) ≈ a·log₂(n) + b, i.e.
+/// y ≈ 2^b · n^a. `slope` is the empirical exponent — 2.0 for the engine's
+/// per-round broadcast traffic, ≈ 0 for any polylog quantity. R² is
+/// measured in log space. Requires strictly positive x and y.
+[[nodiscard]] inline LinearFit fit_power(std::span<const double> n_values,
+                                         std::span<const double> y) {
+  BIL_REQUIRE(n_values.size() == y.size(), "x/y size mismatch");
+  std::vector<double> log_x;
+  std::vector<double> log_y;
+  log_x.reserve(n_values.size());
+  log_y.reserve(y.size());
+  for (std::size_t i = 0; i < n_values.size(); ++i) {
+    BIL_REQUIRE(n_values[i] > 0.0 && y[i] > 0.0,
+                "fit_power needs strictly positive x and y");
+    log_x.push_back(std::log2(n_values[i]));
+    log_y.push_back(std::log2(y[i]));
+  }
+  return fit_linear(log_x, log_y);
+}
+
+/// Which growth model explained a series best (compare_growth).
+enum class GrowthModel : std::uint8_t { kLog2, kLogLog2 };
+
+[[nodiscard]] constexpr const char* to_string(GrowthModel model) noexcept {
+  return model == GrowthModel::kLog2 ? "log2(n)" : "log2(log2 n)";
+}
+
+/// Both competing fits for a rounds-vs-n series, plus which one wins on R².
+/// Ties (e.g. a constant series, where both are exact) go to the *slower*
+/// model, log₂ — so claiming kLogLog2 as best is always a strict statement.
+struct GrowthComparison {
+  LinearFit log2_fit;
+  LinearFit loglog2_fit;
+  GrowthModel best = GrowthModel::kLog2;
+
+  [[nodiscard]] const LinearFit& best_fit() const noexcept {
+    return best == GrowthModel::kLog2 ? log2_fit : loglog2_fit;
+  }
+};
+
+/// Fits both the log and iterated-log models to a series; needs n > 2.
+[[nodiscard]] inline GrowthComparison compare_growth(
+    std::span<const double> n_values, std::span<const double> y) {
+  GrowthComparison comparison;
+  comparison.log2_fit = fit_log2(n_values, y);
+  comparison.loglog2_fit = fit_log2log2(n_values, y);
+  comparison.best = comparison.loglog2_fit.r_squared >
+                            comparison.log2_fit.r_squared
+                        ? GrowthModel::kLogLog2
+                        : GrowthModel::kLog2;
+  return comparison;
+}
+
 }  // namespace bil::stats

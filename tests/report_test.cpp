@@ -1,0 +1,251 @@
+// Tests for the paper-claims report pipeline (src/report/): registry
+// integrity, claim evaluation on a tiny real grid, renderer output, and
+// determinism of the whole pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "report/presets.h"
+#include "report/report.h"
+#include "util/contract.h"
+
+namespace bil::report {
+namespace {
+
+// ---- registry integrity -----------------------------------------------------
+
+TEST(PresetRegistry, NamesAreUniqueAndFindable) {
+  const std::vector<PresetSpec>& registry = preset_registry();
+  ASSERT_FALSE(registry.empty());
+  std::set<std::string> names;
+  for (const PresetSpec& preset : registry) {
+    EXPECT_TRUE(names.insert(preset.name).second)
+        << "duplicate preset name " << preset.name;
+    EXPECT_EQ(&find_preset(preset.name), &preset);
+  }
+  EXPECT_EQ(names.count("ci"), 1u) << "the CI job needs a 'ci' preset";
+  EXPECT_THROW((void)find_preset("no-such-preset"), ContractViolation);
+}
+
+TEST(PresetRegistry, EveryClaimReferencesARegisteredSeries) {
+  for (const PresetSpec& preset : preset_registry()) {
+    std::set<std::string> labels;
+    for (const SeriesSpec& series : preset.series) {
+      EXPECT_TRUE(labels.insert(series.label).second)
+          << preset.name << ": duplicate series label " << series.label;
+      if (!series.f_values.empty()) {
+        EXPECT_EQ(series.n_values.size(), 1u)
+            << preset.name << '/' << series.label
+            << ": an f-axis series needs exactly one fixed n";
+      }
+    }
+    for (const ClaimSpec& claim : preset.claims) {
+      EXPECT_EQ(labels.count(claim.series), 1u)
+          << preset.name << '/' << claim.name
+          << " references unknown series " << claim.series;
+      if (!claim.reference.empty()) {
+        EXPECT_EQ(labels.count(claim.reference), 1u)
+            << preset.name << '/' << claim.name
+            << " references unknown reference series " << claim.reference;
+      }
+    }
+  }
+}
+
+TEST(PresetRegistry, CatalogListsEveryPreset) {
+  const std::string catalog = preset_catalog();
+  for (const PresetSpec& preset : preset_registry()) {
+    EXPECT_NE(catalog.find(preset.name), std::string::npos);
+  }
+}
+
+// ---- pipeline smoke on a tiny real grid -------------------------------------
+
+/// A miniature preset exercising every claim-machinery path: two renaming
+/// series over a 3-point n grid, a two-choice series, and one claim of
+/// each fit/point kind. Engine runs at n <= 64 keep this in test-suite
+/// time.
+PresetSpec tiny_preset() {
+  PresetSpec preset;
+  preset.name = "tiny";
+  preset.title = "Tiny smoke grid";
+  preset.description = "Test-only preset.";
+
+  SeriesSpec bil;
+  bil.label = "bil";
+  bil.algorithm = harness::Algorithm::kBallsIntoLeaves;
+  bil.n_values = {16, 32, 64};
+  bil.seeds = 3;
+  bil.backend = api::BackendKind::kEngine;
+  preset.series.push_back(bil);
+
+  SeriesSpec halving;
+  halving.label = "halving";
+  halving.algorithm = harness::Algorithm::kHalving;
+  halving.n_values = {16, 32, 64};
+  halving.seeds = 1;
+  halving.backend = api::BackendKind::kEngine;
+  preset.series.push_back(halving);
+
+  SeriesSpec two_choice;
+  two_choice.label = "two-choice";
+  two_choice.n_values = {64};
+  two_choice.seeds = 2;
+  two_choice.two_choice = true;
+  preset.series.push_back(two_choice);
+
+  preset.claims.push_back({.name = "halving-exact",
+                           .statement = "halving is 2*log2(n)+1",
+                           .kind = ClaimKind::kLogSlopeBand,
+                           .series = "halving",
+                           .min_r2 = 0.999,
+                           .lo = 1.9,
+                           .hi = 2.1});
+  preset.claims.push_back({.name = "bil-below-halving",
+                           .statement = "bil mean rounds <= halving's",
+                           .kind = ClaimKind::kRatioBound,
+                           .series = "bil",
+                           .reference = "halving",
+                           .metric = Metric::kRoundsMean,
+                           .factor = 1.0});
+  preset.claims.push_back({.name = "broadcast",
+                           .statement = "crash-free runs are all-broadcast",
+                           .kind = ClaimKind::kEqualsBound,
+                           .series = "bil",
+                           .metric = Metric::kBroadcastRatio,
+                           .bound = 1.0,
+                           .tol = 1e-9});
+  preset.claims.push_back({.name = "collides",
+                           .statement = "two-choice leaves collisions",
+                           .kind = ClaimKind::kAlwaysColliding,
+                           .series = "two-choice"});
+  preset.claims.push_back({.name = "impossible",
+                           .statement = "deliberately failing claim",
+                           .kind = ClaimKind::kAbsoluteBound,
+                           .series = "bil",
+                           .metric = Metric::kRoundsMax,
+                           .bound = 0.0});
+  return preset;
+}
+
+TEST(ReportPipeline, TinyGridEvaluatesEveryClaimKind) {
+  const PresetReport report = run_preset(tiny_preset());
+  ASSERT_EQ(report.series.size(), 3u);
+  ASSERT_EQ(report.claims.size(), 5u);
+
+  // Measurements arrived for every point.
+  EXPECT_EQ(report.series[0].points.size(), 3u);
+  EXPECT_GT(report.series[0].points[0].rounds.mean, 0.0);
+  EXPECT_TRUE(report.series[0].points[0].bytes_measured);
+  EXPECT_GT(report.series[2].points[0].colliding.min, 0.0);
+
+  EXPECT_TRUE(report.claims[0].pass) << report.claims[0].measured;
+  EXPECT_TRUE(report.claims[1].pass) << report.claims[1].measured;
+  EXPECT_TRUE(report.claims[2].pass) << report.claims[2].measured;
+  EXPECT_TRUE(report.claims[3].pass) << report.claims[3].measured;
+  // The impossible bound must FAIL — verdicts are real checks, not
+  // decoration.
+  EXPECT_FALSE(report.claims[4].pass);
+  EXPECT_FALSE(report.all_pass());
+}
+
+TEST(ReportPipeline, DeterministicAcrossRuns) {
+  Report first;
+  first.presets.push_back(run_preset(tiny_preset()));
+  Report second;
+  second.presets.push_back(run_preset(tiny_preset()));
+  std::ostringstream json_first;
+  std::ostringstream json_second;
+  first.write_json(json_first);
+  second.write_json(json_second);
+  EXPECT_EQ(json_first.str(), json_second.str());
+}
+
+TEST(ReportPipeline, MarkdownRendersTablesPlotsAndVerdicts) {
+  Report report;
+  report.presets.push_back(run_preset(tiny_preset()));
+  std::ostringstream os;
+  MarkdownOptions options;
+  options.command_line = "test";
+  write_markdown(report, os, options);
+  const std::string markdown = os.str();
+  EXPECT_NE(markdown.find("# Paper-claims report"), std::string::npos);
+  EXPECT_NE(markdown.find("Tiny smoke grid"), std::string::npos);
+  EXPECT_NE(markdown.find("**PASS**"), std::string::npos);
+  EXPECT_NE(markdown.find("**FAIL**"), std::string::npos);
+  EXPECT_NE(markdown.find("mean rounds (y"), std::string::npos);  // ASCII plot
+  EXPECT_NE(markdown.find("halving"), std::string::npos);
+  // 4/5 claims pass.
+  EXPECT_NE(markdown.find("4/5 claims PASS"), std::string::npos);
+}
+
+TEST(ReportPipeline, JsonCarriesVerdictsAndSummaries) {
+  Report report;
+  report.presets.push_back(run_preset(tiny_preset()));
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"verdict\":\"PASS\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"FAIL\""), std::string::npos);
+  EXPECT_NE(json.find("\"all_pass\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"two-choice\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_load\""), std::string::npos);
+}
+
+TEST(ReportPipeline, SvgChartsAreWrittenForPlottablePresets) {
+  Report report;
+  report.presets.push_back(run_preset(tiny_preset()));
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "bil_report_svg_test";
+  std::filesystem::remove_all(dir);
+  const std::vector<std::string> written = write_svgs(report, dir.string());
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written.front(), "tiny.svg");
+  std::ifstream svg(dir / written.front());
+  ASSERT_TRUE(svg.good());
+  std::stringstream contents;
+  contents << svg.rdbuf();
+  EXPECT_NE(contents.str().find("<svg"), std::string::npos);
+  EXPECT_NE(contents.str().find("polyline"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReportPipeline, FailureAxisSweepsUseF) {
+  // An f-axis series must label points by failure count, not size.
+  PresetSpec preset;
+  preset.name = "f-axis";
+  preset.title = "f-axis";
+  preset.description = "";
+  SeriesSpec series;
+  series.label = "early";
+  series.algorithm = harness::Algorithm::kEarlyTerminating;
+  series.n_values = {64};
+  series.f_values = {0, 4};
+  series.seeds = 2;
+  series.backend = api::BackendKind::kEngine;
+  series.adversary = [](std::uint32_t, std::uint32_t f) {
+    harness::AdversarySpec spec;
+    if (f > 0) {
+      spec.kind = harness::AdversaryKind::kBurst;
+      spec.crashes = f;
+      spec.when = 0;
+    }
+    return spec;
+  };
+  preset.series.push_back(series);
+  const PresetReport report = run_preset(preset);
+  ASSERT_EQ(report.series[0].points.size(), 2u);
+  EXPECT_EQ(report.series[0].points[0].x, 0u);
+  EXPECT_EQ(report.series[0].points[1].x, 4u);
+  EXPECT_EQ(report.series[0].points[0].n, 64u);
+  EXPECT_EQ(report.series[0].points[1].n, 64u);
+  // f crashes during the init broadcast cost extra rounds.
+  EXPECT_GE(report.series[0].points[1].rounds.mean,
+            report.series[0].points[0].rounds.mean);
+}
+
+}  // namespace
+}  // namespace bil::report

@@ -117,6 +117,98 @@ TEST(Fit, FitAgainstTransformsX) {
   EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
 }
 
+// ---- Named complexity-model regressions (report pipeline) ---------------------
+
+TEST(Fit, Log2RecoversLogSeries) {
+  // Exactly the halving baseline's shape: rounds = 2*log2(n) + 1.
+  const std::vector<double> n{16, 64, 256, 1024, 4096};
+  std::vector<double> rounds;
+  for (double v : n) {
+    rounds.push_back(2 * std::log2(v) + 1);
+  }
+  const LinearFit fit = fit_log2(n, rounds);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, Log2Log2RecoversIteratedLogSeries) {
+  // The Theorem 2 shape: rounds = 3*log2(log2 n) + 2.
+  const std::vector<double> n{16, 64, 256, 4096, 65536, 1u << 20};
+  std::vector<double> rounds;
+  for (double v : n) {
+    rounds.push_back(3 * std::log2(std::log2(v)) + 2);
+  }
+  const LinearFit fit = fit_log2log2(n, rounds);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, PowerRecoversExponent) {
+  // y = 4 * n^2 — the engine's per-round broadcast traffic shape.
+  const std::vector<double> n{4, 16, 64, 256};
+  std::vector<double> y;
+  for (double v : n) {
+    y.push_back(4 * v * v);
+  }
+  const LinearFit fit = fit_power(n, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);  // log2(4)
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, CompareGrowthPicksTheGeneratingModel) {
+  const std::vector<double> n{16, 64, 256, 4096, 65536, 1u << 20};
+  std::vector<double> log_series;
+  std::vector<double> loglog_series;
+  for (double v : n) {
+    log_series.push_back(2 * std::log2(v) + 1);
+    loglog_series.push_back(1.5 * std::log2(std::log2(v)) + 4);
+  }
+  const GrowthComparison log_growth = compare_growth(n, log_series);
+  EXPECT_EQ(log_growth.best, GrowthModel::kLog2);
+  EXPECT_NEAR(log_growth.best_fit().slope, 2.0, 1e-9);
+
+  const GrowthComparison loglog_growth = compare_growth(n, loglog_series);
+  EXPECT_EQ(loglog_growth.best, GrowthModel::kLogLog2);
+  EXPECT_NEAR(loglog_growth.best_fit().slope, 1.5, 1e-9);
+  // The wrong model must not reach a perfect fit on the true model's data.
+  EXPECT_LT(loglog_growth.log2_fit.r_squared, 0.999);
+}
+
+TEST(Fit, CompareGrowthOnNoisyMeasurements) {
+  // A log log series with measurement noise still recovers its slope within
+  // tolerance and still beats the log model.
+  const std::vector<double> n{16, 64, 256, 1024, 4096, 65536, 1u << 18};
+  const std::vector<double> noise{0.11, -0.08, 0.05, -0.12, 0.09, -0.04,
+                                  0.07};
+  std::vector<double> rounds;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    rounds.push_back(2.0 * std::log2(std::log2(n[i])) + 3.0 + noise[i]);
+  }
+  const GrowthComparison growth = compare_growth(n, rounds);
+  EXPECT_EQ(growth.best, GrowthModel::kLogLog2);
+  EXPECT_NEAR(growth.loglog2_fit.slope, 2.0, 0.2);
+  EXPECT_GT(growth.loglog2_fit.r_squared, 0.97);
+}
+
+TEST(Fit, NamedRegressionsRejectOutOfDomainInput) {
+  const std::vector<double> ok_y{1.0, 2.0};
+  EXPECT_THROW((void)fit_log2(std::vector<double>{1.0, 8.0}, ok_y),
+               ContractViolation);
+  EXPECT_THROW((void)fit_log2log2(std::vector<double>{2.0, 8.0}, ok_y),
+               ContractViolation);
+  EXPECT_THROW((void)fit_power(std::vector<double>{4.0, 8.0},
+                               std::vector<double>{0.0, 1.0}),
+               ContractViolation);
+}
+
+TEST(Fit, GrowthModelNames) {
+  EXPECT_STREQ(to_string(GrowthModel::kLog2), "log2(n)");
+  EXPECT_STREQ(to_string(GrowthModel::kLogLog2), "log2(log2 n)");
+}
+
 // ---- Paper bounds --------------------------------------------------------------
 
 TEST(Binomial, MeanAndVariance) {

@@ -1,0 +1,137 @@
+// bil_report — regenerate the paper-claims report (docs/results.md).
+//
+//   $ bil_report --preset all --out docs/results.md   # regenerate the doc
+//   $ bil_report --preset rounds-vs-n                 # one preset to stdout
+//   $ bil_report --preset ci --json                   # CI verdict JSON
+//   $ bil_report --list-presets
+//
+// Runs the declarative preset grids (src/report/presets.cpp) through the
+// unified bil::api sweep layer, fits the scaling models, evaluates every
+// claim against its tolerance band, and renders markdown (with ASCII plots,
+// plus SVG charts next to --out) or machine-readable JSON. Exit code 0 when
+// every claim PASSes, 2 when any FAILs — CI runs `--preset ci --json` and
+// treats a non-zero exit or a FAIL verdict in the JSON as claim drift.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/presets.h"
+#include "report/report.h"
+#include "util/contract.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace bil;
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::istringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+  }
+  BIL_REQUIRE(!items.empty(), "expected a non-empty comma-separated list");
+  return items;
+}
+
+/// Directory part of a path ("" when the path has no separator).
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "all";
+  std::string out;
+  std::uint64_t threads = 0;
+  std::uint64_t engine_threads = 0;
+  bool json = false;
+  bool quiet = false;
+  bool list_presets = false;
+
+  FlagSet flags("bil_report",
+                "run the paper-claim presets and render the results report");
+  flags.add_string("preset", &preset,
+                   "comma-separated list of presets, or 'all' (= every "
+                   "preset except the reduced 'ci' grid): " +
+                       report::preset_catalog());
+  flags.add_string("out", &out,
+                   "write markdown here (plus SVG charts in <dir>/plots/) "
+                   "instead of stdout");
+  flags.add_uint("threads", &threads,
+                 "sweep thread budget per grid point (0 = all cores)");
+  flags.add_uint("engine-threads", &engine_threads,
+                 "intra-round engine threads per run (0 = auto); results "
+                 "are bit-identical for any value");
+  flags.add_bool("json", &json,
+                 "machine-readable claim/verdict JSON on stdout (instead "
+                 "of markdown)");
+  flags.add_bool("quiet", &quiet, "suppress progress lines on stderr");
+  flags.add_bool("list-presets", &list_presets,
+                 "print the preset registry and exit");
+
+  try {
+    if (!flags.parse(argc - 1, argv + 1)) {
+      std::cout << flags.usage();
+      return 0;
+    }
+    if (list_presets) {
+      std::cout << "registered presets:\n";
+      for (const report::PresetSpec& spec : report::preset_registry()) {
+        std::cout << "  " << spec.name << "\n      " << spec.title << " ("
+                  << spec.series.size() << " series, " << spec.claims.size()
+                  << " claims)\n";
+      }
+      std::cout << "  all\n      every preset above except 'ci'\n";
+      return 0;
+    }
+
+    report::RunOptions options;
+    options.threads = static_cast<std::uint32_t>(threads);
+    options.engine_threads = static_cast<std::uint32_t>(engine_threads);
+    options.progress = quiet ? nullptr : &std::cerr;
+
+    const report::Report result =
+        report::run_presets(split_csv(preset), options);
+
+    if (json) {
+      result.write_json(std::cout);
+    } else {
+      report::MarkdownOptions markdown;
+      markdown.command_line = "bil_report --preset " + preset +
+                              (out.empty() ? "" : " --out " + out);
+      if (out.empty()) {
+        report::write_markdown(result, std::cout, markdown);
+      } else {
+        const std::string dir = dirname_of(out);
+        const std::string svg_dir =
+            (dir.empty() ? std::string(".") : dir) + "/plots";
+        markdown.svg_links = !report::write_svgs(result, svg_dir).empty();
+        std::ofstream file(out);
+        BIL_REQUIRE(file.good(), "cannot open --out file " + out);
+        report::write_markdown(result, file, markdown);
+        if (!quiet) {
+          std::cerr << "wrote " << out << " (SVG charts in " << svg_dir
+                    << "/)" << std::endl;
+        }
+      }
+    }
+    if (!result.all_pass()) {
+      std::cerr << "claim FAILures: " << result.claim_count() -
+                       result.pass_count()
+                << " of " << result.claim_count() << std::endl;
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n\n" << flags.usage();
+    return 1;
+  }
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Verifies that every relative link and image target in the repo's markdown
+files points at a file that exists (external http(s)/mailto links are
+skipped; '#anchor' suffixes are stripped). CI runs this so docs can't
+silently rot as files move.
+
+Usage: tools/check_links.py [repo_root]     (exit 1 on any broken link)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("**/*.md"))
+
+
+def check(root: Path) -> int:
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            checked += 1
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md.relative_to(root)}:{line}: {target}")
+    if broken:
+        print(f"{len(broken)} broken link(s):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"ok: {checked} relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()))
