@@ -2,6 +2,7 @@
 
 #include "api/registry.h"
 #include "core/fast_sim.h"
+#include "core/fast_sim_crash.h"
 #include "util/contract.h"
 
 namespace bil::api {
@@ -49,47 +50,87 @@ RunRecord EngineBackend::run(const CellConfig& cell,
   return record;
 }
 
+namespace {
+
+/// Validates a fast-sim run to the engine path's standard
+/// (sim::validate_renaming): every correct ball decided (exactly `crashes`
+/// balls carry the crashed sentinel 0), names lie in 1..n, no duplicates.
+void validate_fast_names(const std::vector<std::uint64_t>& names,
+                         std::uint32_t n, std::uint32_t crashes) {
+  std::vector<bool> used(n + 1, false);
+  std::uint32_t undecided = 0;
+  for (std::uint64_t name : names) {
+    if (name == 0) {
+      ++undecided;  // crashed balls owe nothing
+      continue;
+    }
+    BIL_ENSURE(name <= n, "fast sim name out of range");
+    BIL_ENSURE(!used[name], "fast sim assigned a duplicate name");
+    used[name] = true;
+  }
+  BIL_ENSURE(undecided == crashes,
+             "fast sim left a correct ball without a name");
+}
+
+}  // namespace
+
 RunRecord FastSimBackend::run(const CellConfig& cell,
                               std::uint64_t seed) const {
   BIL_REQUIRE(fast_sim_compatible(cell),
               "FastSimBackend cannot execute this cell exactly (it needs a "
-              "tree-based algorithm, no adversary, global termination, no "
-              "round cap and default labelling) — use the engine backend");
-  core::FastSimOptions options;
+              "tree-based algorithm, a schedule-only adversary, global "
+              "termination, no round cap and default labelling) — use the "
+              "engine backend");
+  RunRecord record;
+  record.seed = seed;
+  // Payloads are never materialized on either fast path; byte counts are
+  // absent (JSON null), never fake zeros.
+  record.bytes_measured = false;
+
+  if (cell.adversary.kind == harness::AdversaryKind::kNone) {
+    core::FastSimOptions options;
+    options.n = cell.n;
+    options.seed = seed;
+    options.policy = algorithm_info(cell.algorithm).policy;
+    const core::FastSimResult result = core::run_fast_sim(options);
+    BIL_ENSURE(result.completed, "fast sim hit its phase cap");
+    validate_fast_names(result.names, cell.n, 0);
+    record.rounds = result.rounds();
+    record.total_rounds = result.rounds();
+    // Crash-free all-broadcast protocol: every round each of the n
+    // processes broadcasts once and all n receive (processes halt only
+    // after the final delivery), so the engine would have measured exactly
+    // n² deliveries per round.
+    record.messages_delivered = static_cast<std::uint64_t>(cell.n) * cell.n *
+                                record.total_rounds;
+    record.names = result.names;
+    return record;
+  }
+
+  // Crash cell: replay the exact adversary object the engine harness would
+  // construct for this (spec, n, seed), so victim choices, crash rounds and
+  // delivery-subset coins are bit-identical (core/fast_sim_crash.h).
+  const std::unique_ptr<sim::Adversary> adversary =
+      harness::make_adversary(cell.adversary, cell.n, seed);
+  core::CrashFastSimOptions options;
   options.n = cell.n;
   options.seed = seed;
   options.policy = algorithm_info(cell.algorithm).policy;
-  const core::FastSimResult result = core::run_fast_sim(options);
-  BIL_ENSURE(result.completed, "fast sim hit its phase cap");
-
-  // The engine path validates every run (harness::run_renaming); hold this
-  // path to the same standard. Crash-free and tight, so the names must be a
-  // permutation of 1..n.
-  std::vector<bool> used(cell.n + 1, false);
-  for (std::uint64_t name : result.names) {
-    BIL_ENSURE(name >= 1 && name <= cell.n, "fast sim name out of range");
-    BIL_ENSURE(!used[name], "fast sim assigned a duplicate name");
-    used[name] = true;
-  }
-
-  RunRecord record;
-  record.seed = seed;
-  record.rounds = result.rounds();
-  record.total_rounds = result.rounds();
-  // Crash-free all-broadcast protocol: every round each of the n processes
-  // broadcasts once and all n receive (processes halt only after the final
-  // delivery), so the engine would have measured exactly n² deliveries per
-  // round. Bytes would require materializing payloads; mark them absent.
-  record.messages_delivered = static_cast<std::uint64_t>(cell.n) * cell.n *
-                              record.total_rounds;
-  record.bytes_measured = false;
+  options.max_crashes = cell.adversary.crashes;
+  const core::CrashFastSimResult result =
+      core::run_fast_sim_crash(options, adversary.get());
+  validate_fast_names(result.names, cell.n, result.crashes);
+  record.rounds = result.rounds;
+  record.total_rounds = result.total_rounds;
+  record.crashes = result.crashes;
+  record.messages_delivered = result.deliveries;
   record.names = result.names;
   return record;
 }
 
 bool fast_sim_compatible(const CellConfig& cell) {
   return algorithm_info(cell.algorithm).fast_sim_capable &&
-         cell.adversary.kind == harness::AdversaryKind::kNone &&
+         adversary_info(cell.adversary.kind).fast_sim_capable &&
          cell.termination == core::TerminationMode::kGlobal &&
          cell.max_rounds == 0 && cell.label_offset == 0 &&
          cell.label_stride == 1;
@@ -102,13 +143,19 @@ BackendKind select_backend(const CellConfig& cell) {
     case BackendKind::kFastSim:
       BIL_REQUIRE(fast_sim_compatible(cell),
                   "cell requests the fast-sim backend but is incompatible "
-                  "with it (tree-based algorithm, no adversary, global "
-                  "termination, no round cap, default labels required)");
+                  "with it (tree-based algorithm, schedule-only adversary, "
+                  "global termination, no round cap, default labels "
+                  "required)");
       return BackendKind::kFastSim;
-    case BackendKind::kAuto:
-      return fast_sim_compatible(cell) && cell.n >= kAutoFastSimMinN
+    case BackendKind::kAuto: {
+      const std::uint32_t min_n =
+          cell.adversary.kind == harness::AdversaryKind::kNone
+              ? kAutoFastSimMinN
+              : kAutoFastSimCrashMinN;
+      return fast_sim_compatible(cell) && cell.n >= min_n
                  ? BackendKind::kFastSim
                  : BackendKind::kEngine;
+    }
   }
   return BackendKind::kEngine;
 }

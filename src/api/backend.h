@@ -4,10 +4,13 @@
 // harness::run_renaming — exact semantics, every adversary, O(n²) messages
 // per round, practical to n ≈ 2¹⁴ since the round-batched delivery fabric
 // (see docs/perf.md; ~2¹¹ before it). FastSimBackend drives the single-view
-// simulator (core::run_fast_sim) — bit-identical to the engine on
-// crash-free tree-based runs (asserted by tests), O(n log n) per phase,
-// practical past n = 2¹⁸. select_backend picks per cell so that large
-// crash-free sweeps transparently take the fast path.
+// simulators — core::run_fast_sim for crash-free cells and
+// core::run_fast_sim_crash for cells attacked by a schedule-only crash
+// adversary (oblivious/burst/eager/sandwich) — bit-identical to the engine
+// on their shared domain (asserted by tests/fast_sim_test.cpp and
+// tests/fastsim_crash_test.cpp), O(n log n) per phase, practical past
+// n = 2¹⁸. select_backend picks per cell so that large sweeps — including
+// crash-adversary sweeps — transparently take the fast path.
 #pragma once
 
 #include <cstdint>
@@ -78,9 +81,12 @@ class EngineBackend final : public Backend {
   std::uint32_t engine_threads_;
 };
 
-/// Single-view fast simulator. Crash-free, tree-based, default-labelled
-/// cells only (the regime where it is provably exact); fast_sim_compatible
-/// tells you in advance.
+/// Single-view fast simulator. Tree-based, default-labelled, globally
+/// terminating, uncapped cells whose adversary (if any) is schedule-only
+/// (the regimes where it is provably exact); fast_sim_compatible tells you
+/// in advance. Crash cells replay the engine's adversary object
+/// bit-for-bit and simulate subset-delivery divergence symbolically
+/// (core/fast_sim_crash.h).
 class FastSimBackend final : public Backend {
  public:
   [[nodiscard]] BackendKind kind() const noexcept override {
@@ -91,21 +97,34 @@ class FastSimBackend final : public Backend {
 };
 
 /// True when FastSimBackend can execute the cell exactly: a tree-based
-/// algorithm, no adversary, global termination, no round cap, default
-/// labelling.
+/// algorithm, a schedule-only adversary (none, oblivious, burst, eager,
+/// sandwich — adversary_info(kind).fast_sim_capable), global termination,
+/// no round cap, default labelling.
 [[nodiscard]] bool fast_sim_compatible(const CellConfig& cell);
 
-/// Cells at least this large take the fast path under BackendKind::kAuto
-/// (below it the engine is already fast and also measures traffic). Tuned
-/// against the round-batched delivery fabric: an engine run at n = 2048 now
-/// costs what n = 1024 cost before it (~1 s), so the engine keeps measuring
-/// real traffic up to twice the previous size at the same wall-clock budget
-/// (measurements in docs/perf.md).
+/// Crash-free cells at least this large take the fast path under
+/// BackendKind::kAuto (below it the engine is already fast and also
+/// measures traffic). Tuned against the round-batched delivery fabric: an
+/// engine run at n = 2048 now costs what n = 1024 cost before it (~1 s),
+/// so the engine keeps measuring real traffic up to twice the previous
+/// size at the same wall-clock budget (measurements in docs/perf.md).
 inline constexpr std::uint32_t kAutoFastSimMinN = 4096;
 
+/// Crash-adversary cells at least this large take the fast path under
+/// BackendKind::kAuto. Deliberately set higher than a strict read of the
+/// crash-free ~1 s/run budget would allow (an adversarial engine run at
+/// n = 4096 already costs ~10 s): crash cells are exactly where measured
+/// bytes are irreplaceable — subset deliveries are the only thing that
+/// bends real traffic away from the analytic broadcast pattern, and the
+/// fast path reconstructs message counts exactly but never bytes — so the
+/// engine keeps the wire through n = 4096 and hands over here, where its
+/// runs near a minute (measurements in docs/perf.md).
+inline constexpr std::uint32_t kAutoFastSimCrashMinN = 8192;
+
 /// Resolves a cell's backend request to a concrete kind. kAuto picks
-/// kFastSim for compatible cells with n >= kAutoFastSimMinN; explicit
-/// kFastSim on an incompatible cell throws.
+/// kFastSim for compatible cells at or above the domain's threshold
+/// (kAutoFastSimMinN crash-free, kAutoFastSimCrashMinN under a crash
+/// adversary); explicit kFastSim on an incompatible cell throws.
 [[nodiscard]] BackendKind select_backend(const CellConfig& cell);
 
 /// Instantiates a backend of the given concrete kind (kAuto not allowed).

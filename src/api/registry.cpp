@@ -69,6 +69,7 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .name = harness::to_string(AdversaryKind::kNone),
                      .aliases = {},
                      .description = "failure-free execution",
+                     .fast_sim_capable = true,
                      .make = [](const AdversaryKnobs&) {
                        return AdversarySpec{.kind = AdversaryKind::kNone};
                      }});
@@ -77,6 +78,7 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .aliases = {},
                      .description = "crashes planned before the run, spread "
                                     "over the first `horizon` rounds",
+                     .fast_sim_capable = true,
                      .make = [](const AdversaryKnobs& knobs) {
                        return AdversarySpec{.kind = AdversaryKind::kOblivious,
                                             .crashes = knobs.crashes,
@@ -88,6 +90,7 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .aliases = {},
                      .description =
                          "all crashes in one round, lowest ids first",
+                     .fast_sim_capable = true,
                      .make = [](const AdversaryKnobs& knobs) {
                        return AdversarySpec{.kind = AdversaryKind::kBurst,
                                             .crashes = knobs.crashes,
@@ -100,6 +103,7 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .description = "§6 label-exchange collision pattern: the "
                                     "lowest ball crashes mid-announcement "
                                     "every round",
+                     .fast_sim_capable = true,
                      .make = [](const AdversaryKnobs& knobs) {
                        return AdversarySpec{.kind = AdversaryKind::kSandwich,
                                             .crashes = knobs.crashes,
@@ -110,6 +114,7 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .aliases = {},
                      .description = "crashes `per_round` random processes "
                                     "every round from `when` on",
+                     .fast_sim_capable = true,
                      .make = [](const AdversaryKnobs& knobs) {
                        return AdversarySpec{.kind = AdversaryKind::kEager,
                                             .crashes = knobs.crashes,

@@ -56,6 +56,12 @@ struct AdversaryInfo {
   std::string name;
   std::vector<std::string> aliases;
   std::string description;
+  /// True for the schedule-only crash strategies (none, oblivious, burst,
+  /// eager, sandwich) that the crash-capable fast simulator can replay
+  /// bit-for-bit through sim::make_schedule_view. The protocol-aware
+  /// targeted adversaries decode candidate paths off the wire and need the
+  /// real engine.
+  bool fast_sim_capable = false;
   /// Builds a fully-populated spec of this kind from the generic knobs.
   std::function<harness::AdversarySpec(const AdversaryKnobs&)> make;
 };

@@ -14,6 +14,7 @@ TwoChoiceResult run_two_choice(const TwoChoiceOptions& options) {
 
   Rng rng(options.seed);
   std::vector<std::uint32_t> load(options.bins, 0);
+  std::vector<std::uint32_t> next_load(options.bins, 0);
   std::vector<std::uint32_t> bin_of(options.balls, 0);
 
   // Round 1: no load information exists yet; every ball commits to the
@@ -22,7 +23,7 @@ TwoChoiceResult run_two_choice(const TwoChoiceOptions& options) {
   // round's loads (the parallel-information pattern of [1]): balls in
   // crowded bins tend to move, balls alone tend to stay.
   for (std::uint32_t round = 0; round < options.rounds; ++round) {
-    std::vector<std::uint32_t> next_load(options.bins, 0);
+    next_load.assign(options.bins, 0);
     for (std::uint32_t ball = 0; ball < options.balls; ++ball) {
       std::uint32_t best_bin = bin_of[ball];
       // A ball alone in its bin keeps it; everyone else redraws.
@@ -42,7 +43,7 @@ TwoChoiceResult run_two_choice(const TwoChoiceOptions& options) {
       bin_of[ball] = best_bin;
       next_load[best_bin] += 1;
     }
-    load = std::move(next_load);
+    std::swap(load, next_load);
   }
 
   TwoChoiceResult result;

@@ -1,0 +1,102 @@
+// Crash-capable single-view simulator: exact symbolic execution of the
+// oblivious crash adversaries on one canonical tree view.
+//
+// The crash-free fast simulator (core/fast_sim.h) exploits the paper's §5
+// observation that without crashes all local views are identical. Crashes
+// with subset delivery ("some balls may receive this broadcast, while
+// others do not", §4) make views diverge — but the divergence is *transient
+// and structured*, which is what this module exploits:
+//
+//   1. A victim crashed during a **path round** (2φ−1) affects only that
+//      round's movement pass: recipients of its candidate path simulate its
+//      capacity-clipped descent, non-recipients remove it at its <R turn.
+//      The next position round removes it from every view (silent), and
+//      position processing has no capacity interactions — so the crash's
+//      entire effect is captured by partitioning the alive balls into
+//      *delivery classes* (which victims' paths they received) and running
+//      one movement simulation per realized class. Every ball's announced
+//      position — which round 2 makes canonical everywhere — is its own
+//      class's outcome.
+//   2. A victim crashed during the **init round or a position round**
+//      persists one extra round as a *ghost*: a stale entry present only in
+//      the views that received its final broadcast. A ghost influences
+//      exactly two things — its holders' next target choice (subtree
+//      capacities, node-mate ranks, halving mates) and the end-of-phase
+//      halt check (a non-leaf ghost blocks its holders' "all balls at
+//      leaves" test) — and is then purged at its <R turn in the next path
+//      round. It can never deflect a correct ball's movement: a stale entry
+//      at node μ inflates only the counts of μ's ancestors, and every ball
+//      whose descent reads an ancestor of μ is iterated after μ's occupant
+//      in <R order (the Proposition 1 argument in
+//      core/balls_into_leaves.h), so movement simulations may simply omit
+//      ghosts. Target choices are evaluated against a per-ball
+//      ghost-adjusted capacity overlay instead of materialized views.
+//
+// The adversary is replayed **bit-for-bit**: the simulator drives the same
+// sim::Adversary object the engine harness would construct
+// (harness::make_adversary), through sim::make_schedule_view, so victim
+// selection, crash rounds and delivery-subset coin flips come from the
+// identical RNG stream. Per-ball protocol coins likewise derive from
+// (seed, kSeedDomainProcess, id). tests/fastsim_crash_test.cpp asserts
+// equality with the engine — rounds, total rounds, crash counts, decided
+// names and delivery counts — for every tree algorithm × oblivious
+// adversary × subset policy on a shared grid.
+//
+// Cost: O(n log n) per phase plus O(C · n log n) for a crash round that
+// realizes C delivery classes (one movement simulation per class), plus the
+// O(Σ|subset|) the adversary itself spends materializing delivery subsets.
+// C is 1 for kSilent/kAll deliveries, 2 for kAlternating (membership is a
+// parity), and at most 2^k (clamped by n) for k simultaneous kRandomHalf
+// victims — so keep per-round victim counts moderate at large n (the
+// report presets do; the engine remains the executor for dense random-half
+// bursts). The protocol-aware targeted adversaries read outboxes and are
+// out of domain (api::fast_sim_compatible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/adversary.h"
+
+namespace bil::core {
+
+struct CrashFastSimOptions {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 0;
+  PathPolicy policy = PathPolicy::kRandomWeighted;
+  /// Adversary crash budget t (sim::EngineConfig::max_crashes); must be < n.
+  std::uint32_t max_crashes = 0;
+  /// Safety cap on rounds; 0 selects the engine default 16·n + 64.
+  sim::RoundNumber max_rounds = 0;
+};
+
+struct CrashFastSimResult {
+  /// True when every non-crashed ball halted before the round cap.
+  bool completed = false;
+  /// Rounds until the last correct ball decided (the paper's metric;
+  /// harness::RunSummary::rounds).
+  std::uint32_t rounds = 0;
+  /// Engine rounds executed until the protocol wound down.
+  std::uint32_t total_rounds = 0;
+  /// Crashes the adversary actually committed (≤ max_crashes; planned
+  /// victims that halt before their crash round never crash).
+  std::uint32_t crashes = 0;
+  /// Physical deliveries, analytically exact: per round,
+  /// (alive − crashed)² broadcast deliveries plus each victim's final
+  /// messages to its surviving delivery subset — identical to what the
+  /// engine's metrics would measure (asserted by tests).
+  std::uint64_t deliveries = 0;
+  /// Decided name per ball label (1-based), or 0 for crashed balls.
+  std::vector<std::uint64_t> names;
+};
+
+/// Runs the simulation to completion. `adversary` may be null (failure-free;
+/// then this is equivalent to run_fast_sim but with engine-round
+/// bookkeeping). The adversary must be schedule-only-drivable (see
+/// sim::make_schedule_view) and freshly constructed for this run's seed —
+/// its internal RNG state is consumed exactly as an engine run would.
+[[nodiscard]] CrashFastSimResult run_fast_sim_crash(
+    const CrashFastSimOptions& options, sim::Adversary* adversary);
+
+}  // namespace bil::core

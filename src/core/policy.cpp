@@ -1,9 +1,5 @@
 #include "core/policy.h"
 
-#include <algorithm>
-
-#include "util/contract.h"
-
 namespace bil::core {
 
 const char* to_string(PathPolicy policy) noexcept {
@@ -20,101 +16,6 @@ const char* to_string(PathPolicy policy) noexcept {
       return "uniform-coin-ablation";
   }
   return "unknown";
-}
-
-tree::NodeId sample_uniform_leaf(const tree::LocalTreeView& view,
-                                 tree::NodeId from, Rng& rng) {
-  const tree::TreeShape& shape = view.shape();
-  tree::NodeId node = from;
-  while (!shape.is_leaf(node)) {
-    const tree::NodeId left = shape.left(node);
-    const tree::NodeId right = shape.right(node);
-    const std::uint64_t cap_left = view.remaining_capacity(left);
-    const std::uint64_t cap_right = view.remaining_capacity(right);
-    if (cap_left + cap_right == 0) {
-      return shape.leaf_at(shape.first_leaf(node));  // see sample_weighted_leaf
-    }
-    if (cap_left == 0) {
-      node = right;
-    } else if (cap_right == 0) {
-      node = left;
-    } else {
-      node = rng.bernoulli_ratio(1, 2) ? left : right;
-    }
-  }
-  return node;
-}
-
-tree::NodeId sample_weighted_leaf(const tree::LocalTreeView& view,
-                                  tree::NodeId from, Rng& rng) {
-  const tree::TreeShape& shape = view.shape();
-  tree::NodeId node = from;
-  while (!shape.is_leaf(node)) {
-    const tree::NodeId left = shape.left(node);
-    const tree::NodeId right = shape.right(node);
-    const std::uint64_t cap_left = view.remaining_capacity(left);
-    const std::uint64_t cap_right = view.remaining_capacity(right);
-    if (cap_left + cap_right == 0) {
-      // Both subtrees read full (possible only through stale crashed
-      // entries). Movement will clip at `node`; aim anywhere below.
-      return shape.leaf_at(shape.first_leaf(node));
-    }
-    node = rng.bernoulli_ratio(cap_left, cap_left + cap_right) ? left : right;
-  }
-  return node;
-}
-
-tree::NodeId ranked_slack_leaf(const tree::LocalTreeView& view,
-                               tree::NodeId from, std::uint64_t rank) {
-  const tree::TreeShape& shape = view.shape();
-  tree::NodeId node = from;
-  while (!shape.is_leaf(node)) {
-    const tree::NodeId left = shape.left(node);
-    const tree::NodeId right = shape.right(node);
-    const std::uint64_t cap_left = view.remaining_capacity(left);
-    const std::uint64_t cap_right = view.remaining_capacity(right);
-    if (cap_left + cap_right == 0) {
-      return shape.leaf_at(shape.first_leaf(node));  // see sample_weighted_leaf
-    }
-    // Clamp out-of-range ranks (possible under divergent views) to the last
-    // available slot; the capacity-clipped movement makes any target safe.
-    rank = std::min(rank, cap_left + cap_right - 1);
-    if (rank < cap_left) {
-      node = left;
-    } else {
-      rank -= cap_left;
-      node = right;
-    }
-  }
-  return node;
-}
-
-tree::NodeId halving_child(const tree::LocalTreeView& view, tree::NodeId from,
-                           std::uint32_t rank, std::uint32_t mates) {
-  const tree::TreeShape& shape = view.shape();
-  BIL_REQUIRE(!shape.is_leaf(from), "halving_child requires an inner node");
-  BIL_REQUIRE(rank < mates, "rank must be below the node's ball count");
-  const tree::NodeId left = shape.left(from);
-  const tree::NodeId right = shape.right(from);
-  const std::uint64_t cap_left = view.remaining_capacity(left);
-  const std::uint64_t cap_right = view.remaining_capacity(right);
-  if (cap_left + cap_right == 0) {
-    return left;  // stale-entry corner; movement clips immediately
-  }
-  // Send ranks [0, quota) left and the rest right, with the quota
-  // proportional to the left subtree's share of the slack but clamped so
-  // that neither side is assigned more balls than it can absorb (when the
-  // balls do fit, i.e. mates <= cap_left + cap_right).
-  const std::uint64_t m = mates;
-  std::uint64_t quota = (m * cap_left + (cap_left + cap_right) / 2) /
-                        (cap_left + cap_right);
-  quota = std::min(quota, cap_left);
-  if (m > quota + cap_right) {
-    // The right side cannot take more than cap_right; shift the excess left
-    // (re-clamped for the stale-overfull corner, where movement clips).
-    quota = std::min(m - cap_right, cap_left);
-  }
-  return rank < quota ? left : right;
 }
 
 std::uint32_t rank_among_node_mates(const tree::LocalTreeView& view,

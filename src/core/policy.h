@@ -27,9 +27,11 @@
 //                        as the deterministic optimum.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "tree/local_view.h"
+#include "util/contract.h"
 #include "util/rng.h"
 
 namespace bil::core {
@@ -49,10 +51,39 @@ enum class PathPolicy : std::uint8_t {
 
 [[nodiscard]] const char* to_string(PathPolicy policy) noexcept;
 
+// The samplers below are templates over the view type: any type exposing
+// `shape()` and `remaining_capacity(NodeId)` with LocalTreeView's semantics
+// (saturating at 0) works. The engine instantiates them with the concrete
+// tree::LocalTreeView; the crash-capable fast simulator instantiates them
+// with a ghost-adjusted overlay (core/fast_sim_crash.cpp) so that a ball
+// whose view still contains a crashed peer's stale entry draws exactly the
+// coins the engine's diverged view would.
+
 /// ABLATION sampler (PathPolicy::kRandomUniform): like the paper's walk but
 /// with unweighted 1/2 coins wherever both subtrees have capacity.
-[[nodiscard]] tree::NodeId sample_uniform_leaf(const tree::LocalTreeView& view,
-                                               tree::NodeId from, Rng& rng);
+template <typename View>
+[[nodiscard]] tree::NodeId sample_uniform_leaf(const View& view,
+                                               tree::NodeId from, Rng& rng) {
+  const tree::TreeShape& shape = view.shape();
+  tree::NodeId node = from;
+  while (!shape.is_leaf(node)) {
+    const tree::NodeId left = shape.left(node);
+    const tree::NodeId right = shape.right(node);
+    const std::uint64_t cap_left = view.remaining_capacity(left);
+    const std::uint64_t cap_right = view.remaining_capacity(right);
+    if (cap_left + cap_right == 0) {
+      return shape.leaf_at(shape.first_leaf(node));  // see sample_weighted_leaf
+    }
+    if (cap_left == 0) {
+      node = right;
+    } else if (cap_right == 0) {
+      node = left;
+    } else {
+      node = rng.bernoulli_ratio(1, 2) ? left : right;
+    }
+  }
+  return node;
+}
 
 /// Paper §4, Algorithm 1 lines 5–10. Starting at `from`, repeatedly choose
 /// the left child with probability RC(left) / (RC(left) + RC(right)) until a
@@ -69,8 +100,25 @@ enum class PathPolicy : std::uint8_t {
 /// both subtrees below some node read full, the walk stops early and the
 /// leftmost leaf below that node is returned; movement clips at the full
 /// subtree anyway, so the choice is immaterial.
-[[nodiscard]] tree::NodeId sample_weighted_leaf(const tree::LocalTreeView& view,
-                                                tree::NodeId from, Rng& rng);
+template <typename View>
+[[nodiscard]] tree::NodeId sample_weighted_leaf(const View& view,
+                                                tree::NodeId from, Rng& rng) {
+  const tree::TreeShape& shape = view.shape();
+  tree::NodeId node = from;
+  while (!shape.is_leaf(node)) {
+    const tree::NodeId left = shape.left(node);
+    const tree::NodeId right = shape.right(node);
+    const std::uint64_t cap_left = view.remaining_capacity(left);
+    const std::uint64_t cap_right = view.remaining_capacity(right);
+    if (cap_left + cap_right == 0) {
+      // Both subtrees read full (possible only through stale crashed
+      // entries). Movement will clip at `node`; aim anywhere below.
+      return shape.leaf_at(shape.first_leaf(node));
+    }
+    node = rng.bernoulli_ratio(cap_left, cap_left + cap_right) ? left : right;
+  }
+  return node;
+}
 
 /// Deterministic rank-indexed descent: returns the leaf reached from `from`
 /// by repeatedly entering the child holding the rank-th unit of remaining
@@ -79,18 +127,67 @@ enum class PathPolicy : std::uint8_t {
 /// deterministically towards the leaf ranked by b_i". Requires nothing of
 /// `rank`; out-of-range ranks are clamped to the available slack (movement
 /// would clip them regardless).
-[[nodiscard]] tree::NodeId ranked_slack_leaf(const tree::LocalTreeView& view,
+template <typename View>
+[[nodiscard]] tree::NodeId ranked_slack_leaf(const View& view,
                                              tree::NodeId from,
-                                             std::uint64_t rank);
+                                             std::uint64_t rank) {
+  const tree::TreeShape& shape = view.shape();
+  tree::NodeId node = from;
+  while (!shape.is_leaf(node)) {
+    const tree::NodeId left = shape.left(node);
+    const tree::NodeId right = shape.right(node);
+    const std::uint64_t cap_left = view.remaining_capacity(left);
+    const std::uint64_t cap_right = view.remaining_capacity(right);
+    if (cap_left + cap_right == 0) {
+      return shape.leaf_at(shape.first_leaf(node));  // see sample_weighted_leaf
+    }
+    // Clamp out-of-range ranks (possible under divergent views) to the last
+    // available slot; the capacity-clipped movement makes any target safe.
+    rank = std::min(rank, cap_left + cap_right - 1);
+    if (rank < cap_left) {
+      node = left;
+    } else {
+      rank -= cap_left;
+      node = right;
+    }
+  }
+  return node;
+}
 
 /// One-level halving step: returns the child of `from` assigned to the ball
 /// of rank `rank` among the `mates` balls currently at `from`, splitting
 /// ranks between the children in proportion to their remaining capacities
 /// (never assigning more balls to a child than it can hold). Requires
 /// `from` to be an inner node and rank < mates.
-[[nodiscard]] tree::NodeId halving_child(const tree::LocalTreeView& view,
-                                         tree::NodeId from, std::uint32_t rank,
-                                         std::uint32_t mates);
+template <typename View>
+[[nodiscard]] tree::NodeId halving_child(const View& view, tree::NodeId from,
+                                         std::uint32_t rank,
+                                         std::uint32_t mates) {
+  const tree::TreeShape& shape = view.shape();
+  BIL_REQUIRE(!shape.is_leaf(from), "halving_child requires an inner node");
+  BIL_REQUIRE(rank < mates, "rank must be below the node's ball count");
+  const tree::NodeId left = shape.left(from);
+  const tree::NodeId right = shape.right(from);
+  const std::uint64_t cap_left = view.remaining_capacity(left);
+  const std::uint64_t cap_right = view.remaining_capacity(right);
+  if (cap_left + cap_right == 0) {
+    return left;  // stale-entry corner; movement clips immediately
+  }
+  // Send ranks [0, quota) left and the rest right, with the quota
+  // proportional to the left subtree's share of the slack but clamped so
+  // that neither side is assigned more balls than it can absorb (when the
+  // balls do fit, i.e. mates <= cap_left + cap_right).
+  const std::uint64_t m = mates;
+  std::uint64_t quota = (m * cap_left + (cap_left + cap_right) / 2) /
+                        (cap_left + cap_right);
+  quota = std::min(quota, cap_left);
+  if (m > quota + cap_right) {
+    // The right side cannot take more than cap_right; shift the excess left
+    // (re-clamped for the stale-overfull corner, where movement clips).
+    quota = std::min(m - cap_right, cap_left);
+  }
+  return rank < quota ? left : right;
+}
 
 /// Rank of `ball` among the balls at its current node, by label order.
 /// O(registry size).

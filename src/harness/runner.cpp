@@ -69,18 +69,19 @@ core::PathPolicy policy_for(Algorithm algorithm) {
   }
 }
 
+}  // namespace
+
 std::unique_ptr<sim::Adversary> make_adversary(
-    const RunConfig& config,
+    const AdversarySpec& spec, std::uint32_t n, std::uint64_t run_seed,
     const std::shared_ptr<const tree::TreeShape>& shape) {
-  const AdversarySpec& spec = config.adversary;
   const std::uint64_t seed =
-      derive_seed(config.seed, core::kSeedDomainAdversary, 0);
+      derive_seed(run_seed, core::kSeedDomainAdversary, 0);
   switch (spec.kind) {
     case AdversaryKind::kNone:
       return nullptr;
     case AdversaryKind::kOblivious:
       return std::make_unique<sim::ObliviousCrashAdversary>(
-          config.n,
+          n,
           sim::ObliviousCrashAdversary::Options{
               .crashes = spec.crashes,
               .horizon_rounds = spec.horizon,
@@ -106,6 +107,8 @@ std::unique_ptr<sim::Adversary> make_adversary(
                                             .per_round = spec.per_round,
                                             .subset_policy = spec.subset},
           seed);
+    // Protocol-aware kinds below read process state / outboxes — engine
+    // only (not drivable through sim::make_schedule_view).
     case AdversaryKind::kTargetedWinner:
     case AdversaryKind::kTargetedAnnouncer: {
       BIL_REQUIRE(shape != nullptr,
@@ -126,8 +129,6 @@ std::unique_ptr<sim::Adversary> make_adversary(
   }
   return nullptr;
 }
-
-}  // namespace
 
 RunSummary run_renaming(const RunConfig& config) {
   BIL_REQUIRE(config.n >= 1, "need at least one process");
@@ -190,7 +191,8 @@ RunSummary run_renaming(const RunConfig& config) {
                         .max_rounds = config.max_rounds,
                         .num_threads = config.engine_threads,
                         .trace = config.trace},
-      std::move(processes), make_adversary(config, shape));
+      std::move(processes),
+      make_adversary(config.adversary, config.n, config.seed, shape));
   sim::RunResult result = engine.run();
   sim::validate_renaming(result, config.n);
 

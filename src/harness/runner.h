@@ -117,4 +117,14 @@ struct RunSummary {
 /// to complete within the round cap.
 [[nodiscard]] RunSummary run_renaming(const RunConfig& config);
 
+/// Builds the adversary a run with this spec would face: the factory
+/// run_renaming itself uses, exposed so the crash-capable fast simulator
+/// can replay the *identical* object (same construction-time victim/round
+/// draws from derive_seed(run_seed, kSeedDomainAdversary, 0), same subset
+/// RNG stream) against its symbolic execution. Returns null for kNone.
+/// `shape` is only consulted by the protocol-aware targeted kinds.
+[[nodiscard]] std::unique_ptr<sim::Adversary> make_adversary(
+    const AdversarySpec& spec, std::uint32_t n, std::uint64_t run_seed,
+    const std::shared_ptr<const tree::TreeShape>& shape = nullptr);
+
 }  // namespace bil::harness

@@ -73,6 +73,10 @@ enum class Metric : std::uint8_t {
   /// messages / (n² · total_rounds): 1.0 exactly for a crash-free
   /// all-broadcast engine run.
   kBroadcastRatio,
+  /// Mean crashes the adversary committed per run. Equals-bound claims on
+  /// this metric pin a crash schedule exactly (e.g. a burst's full budget);
+  /// fast-backend crash cells must reproduce the engine's count.
+  kCrashesMean,
   /// Two-choice series only: worst max-load over the point's runs.
   kMaxLoadMax,
 };

@@ -73,6 +73,7 @@ SeriesPoint run_sweep_point(const SeriesSpec& spec, std::uint32_t n,
   point.backend_used = cell.backend_used;
   point.rounds = cell.rounds;
   point.total_rounds = cell.total_rounds;
+  point.crashes = cell.crashes;
   point.messages = cell.messages;
   point.bytes = cell.bytes;
   point.bytes_measured = cell.backend_used != api::BackendKind::kFastSim;
@@ -139,6 +140,8 @@ double metric_value(const SeriesPoint& point, Metric metric) {
       return point.messages.mean / (static_cast<double>(point.n) *
                                     static_cast<double>(point.n) *
                                     point.total_rounds.mean);
+    case Metric::kCrashesMean:
+      return point.crashes.mean;
     case Metric::kMaxLoadMax:
       BIL_REQUIRE(point.max_load.count > 0,
                   "max load is a two-choice metric");
@@ -392,6 +395,8 @@ void write_point_json(std::ostream& os, const SeriesPoint& point,
     os << ",\"backend\":\"" << api::to_string(point.backend_used)
        << "\",\"rounds\":";
     write_summary_json(os, point.rounds);
+    os << ",\"crashes\":";
+    write_summary_json(os, point.crashes);
     os << ",\"messages\":";
     write_summary_json(os, point.messages);
     os << ",\"bytes\":";

@@ -30,6 +30,7 @@ struct SeriesPoint {
   api::BackendKind backend_used = api::BackendKind::kEngine;
   stats::Summary rounds;
   stats::Summary total_rounds;
+  stats::Summary crashes;
   stats::Summary messages;
   /// Meaningful only when bytes_measured (engine-backed points).
   stats::Summary bytes;

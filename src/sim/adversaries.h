@@ -6,6 +6,15 @@
 // BiL-aware TargetedCollisionAdversary (which decodes candidate-path
 // messages off the wire) lives in src/core/targeted_adversary.h because it
 // needs the protocol's message codecs.
+//
+// Schedule-only contract: every strategy in this file is *oblivious in its
+// inputs* — schedule() reads only the RoundView's round number, alive list
+// and remaining budget, never process state or outbox contents. That makes
+// them drivable through sim::make_schedule_view (adversary.h), which is how
+// the crash-capable fast simulator replays the exact engine crash schedule
+// (victims, rounds, delivery subsets, RNG stream) without an engine. Keep
+// it that way: a strategy that starts reading outboxes must move out of the
+// schedule-only set (api::AdversaryInfo::fast_sim_capable).
 #pragma once
 
 #include <cstdint>

@@ -79,6 +79,25 @@ class RoundView {
   std::uint32_t crash_budget_remaining_;
 };
 
+/// Schedule-only RoundView: the round/alive/budget snapshot without any
+/// process or outbox introspection behind it. This is how the crash-capable
+/// fast simulator drives *the same adversary objects* as the engine — the
+/// oblivious strategies (no-failure, oblivious, burst, eager, sandwich)
+/// consult only round(), alive(), is_alive() and crash_budget_remaining(),
+/// so feeding them a schedule-only view reproduces their crash plans (and
+/// their RNG streams, which make_delivery_subset consumes per alive id)
+/// bit-for-bit without materializing processes or traffic. Protocol-aware
+/// adversaries (core::TargetedCollisionAdversary) decode candidate paths via
+/// process()/outgoing(), which throw on a schedule-only view — they need
+/// the real engine.
+[[nodiscard]] inline RoundView make_schedule_view(
+    RoundNumber round, std::uint32_t num_processes,
+    std::span<const ProcessId> alive,
+    std::uint32_t crash_budget_remaining) noexcept {
+  return RoundView(round, num_processes, alive, {}, {},
+                   crash_budget_remaining);
+}
+
 /// The crashes the adversary commits for one round.
 class CrashPlan {
  public:

@@ -10,6 +10,7 @@
 // log model should win with slope ≈ 1 level per phase-pair.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -62,7 +63,13 @@ struct LinearFit {
       const double predicted = fit.slope * x[i] + fit.intercept;
       ss_res += (y[i] - predicted) * (y[i] - predicted);
     }
-    fit.r_squared = 1.0 - ss_res / syy;
+    // In exact arithmetic 0 <= ss_res <= syy for an OLS fit with intercept,
+    // but the two sums round independently: a near-perfect fit can compute
+    // ss_res/syy as a tiny negative (or a near-total miss as 1 + eps),
+    // pushing 1 - ss_res/syy epsilon-outside the documented [0, 1]. The
+    // report layer feeds r_squared straight into claim tolerance bands
+    // (min_r2 thresholds), so clamp to the contract.
+    fit.r_squared = std::clamp(1.0 - ss_res / syy, 0.0, 1.0);
   }
   return fit;
 }

@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <charconv>
+#include <limits>
 #include <sstream>
 
 #include "util/contract.h"
@@ -23,6 +24,16 @@ void FlagSet::add_uint(const std::string& name, std::uint64_t* value,
   BIL_REQUIRE(value != nullptr, "flag target must not be null");
   BIL_REQUIRE(flags_
                   .emplace(name, Flag{Kind::kUint, value, help,
+                                      std::to_string(*value)})
+                  .second,
+              "duplicate flag --" + name);
+}
+
+void FlagSet::add_uint32(const std::string& name, std::uint32_t* value,
+                         const std::string& help) {
+  BIL_REQUIRE(value != nullptr, "flag target must not be null");
+  BIL_REQUIRE(flags_
+                  .emplace(name, Flag{Kind::kUint32, value, help,
                                       std::to_string(*value)})
                   .second,
               "duplicate flag --" + name);
@@ -52,6 +63,23 @@ void FlagSet::set_value(const std::string& name, Flag& flag,
                   "--" + name + " expects an unsigned integer, got '" +
                       value + "'");
       *static_cast<std::uint64_t*>(flag.target) = parsed;
+      return;
+    }
+    case Kind::kUint32: {
+      std::uint64_t parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      BIL_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+                  "--" + name + " expects an unsigned integer, got '" +
+                      value + "'");
+      // Explicit range check, not a narrowing cast: a wrapped value (e.g.
+      // '-1' read as ~4 billion elsewhere) must fail loudly, not schedule
+      // four billion crashes.
+      BIL_REQUIRE(parsed <= std::numeric_limits<std::uint32_t>::max(),
+                  "--" + name + " value '" + value +
+                      "' exceeds the 32-bit range (max 4294967295)");
+      *static_cast<std::uint32_t*>(flag.target) =
+          static_cast<std::uint32_t>(parsed);
       return;
     }
     case Kind::kBool:
@@ -112,6 +140,9 @@ std::string FlagSet::usage() const {
         break;
       case Kind::kUint:
         os << "=<uint>";
+        break;
+      case Kind::kUint32:
+        os << "=<uint32>";
         break;
       case Kind::kBool:
         os << " | --no-" << name;

@@ -25,6 +25,12 @@ class FlagSet {
                   const std::string& help);
   void add_uint(const std::string& name, std::uint64_t* value,
                 const std::string& help);
+  /// Range-checked 32-bit variant: values above 2^32−1 (and anything
+  /// non-numeric, including a leading '-') are rejected with a diagnostic
+  /// naming the flag. Use this for any flag that feeds a uint32_t knob —
+  /// a plain add_uint target narrowed by static_cast would silently wrap.
+  void add_uint32(const std::string& name, std::uint32_t* value,
+                  const std::string& help);
   void add_bool(const std::string& name, bool* value, const std::string& help);
 
   /// Parses argv (excluding argv[0]). Returns false (after printing usage)
@@ -36,7 +42,7 @@ class FlagSet {
   [[nodiscard]] std::string usage() const;
 
  private:
-  enum class Kind : std::uint8_t { kString, kUint, kBool };
+  enum class Kind : std::uint8_t { kString, kUint, kUint32, kBool };
   struct Flag {
     Kind kind;
     void* target;

@@ -163,10 +163,19 @@ TEST(Sweep, AutoPicksEngineForSmallOrAdversarialCells) {
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
   cell.n = api::kAutoFastSimMinN;
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
-  cell.adversary.kind = AdversaryKind::kEager;  // crashes: engine only
+  // Schedule-only crash adversaries have their own (higher) auto
+  // threshold: below it the engine still measures real traffic, above it
+  // the crash-capable fast path takes over.
+  cell.adversary.kind = AdversaryKind::kEager;
+  EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
+  cell.n = api::kAutoFastSimCrashMinN;
+  EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
+  // Protocol-aware adversaries read the wire: engine only, at any size.
+  cell.adversary.kind = AdversaryKind::kTargetedWinner;
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
   cell.adversary.kind = AdversaryKind::kNone;
   cell.algorithm = Algorithm::kGossip;  // not tree-based: engine only
+  cell.n = api::kAutoFastSimMinN;
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
 }
 
@@ -176,10 +185,16 @@ TEST(Sweep, ExplicitFastSimOnIncompatibleCellThrows) {
   spec.backend = api::BackendKind::kFastSim;
   EXPECT_THROW((void)api::SweepRunner(spec), ContractViolation);
 
+  // Schedule-only crash adversaries are *in* the fast domain now; the
+  // protocol-aware targeted ones (which decode outboxes) are not.
   spec.algorithms = {Algorithm::kBallsIntoLeaves};
   spec.adversaries = {harness::AdversarySpec{
-      .kind = AdversaryKind::kBurst, .crashes = 2, .when = 1}};
+      .kind = AdversaryKind::kTargetedWinner, .crashes = 2, .per_round = 1}};
   EXPECT_THROW((void)api::SweepRunner(spec), ContractViolation);
+
+  spec.adversaries = {harness::AdversarySpec{
+      .kind = AdversaryKind::kBurst, .crashes = 2, .when = 1}};
+  EXPECT_NO_THROW((void)api::SweepRunner(spec));
 }
 
 TEST(Sweep, SeedModesAssignSeedsAsDocumented) {

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 
+#include "baselines/two_choice.h"
 #include "harness/golden.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,63 @@ TEST(GoldenRuns, EveryCellIsBitIdentical) { expect_grid_matches(1); }
 TEST(GoldenRuns, EveryCellIsBitIdenticalWithMaxEngineThreads) {
   expect_grid_matches(
       std::max(4u, bil::util::ThreadPool::hardware_threads()));
+}
+
+// ---- Two-choice allocator golden cells --------------------------------------
+//
+// baselines::run_two_choice is not an engine run (no wire, no adversary),
+// so it sits outside golden_grid() — but the load-balancing-gap preset's
+// claims are built on its outputs, so its (seed → allocation) mapping is
+// pinned here the same way: max load, bins used, colliding-ball count and
+// an FNV-1a hash of the full bin_of vector, captured from the
+// pre-refactor implementation (PR 5's buffer-reuse change had to be
+// bit-preserving).
+
+struct TwoChoiceGolden {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t max_load = 0;
+  std::uint32_t bins_used = 0;
+  std::uint32_t colliding_balls = 0;
+  std::uint64_t bins_hash = 0;
+};
+
+constexpr TwoChoiceGolden kTwoChoiceGolden[] = {
+    {64, 24301ull, 4, 41, 40, 0x5bc0969818abf38ull},
+    {64, 9001ull, 4, 40, 39, 0x54847af4843a506aull},
+    {256, 24301ull, 6, 162, 153, 0x4702075045176847ull},
+    {256, 9001ull, 5, 171, 149, 0x9dba5a4759fa9c01ull},
+    {1024, 24301ull, 5, 654, 641, 0xd86c2cd10dade1cdull},
+    {1024, 9001ull, 5, 643, 659, 0x232e723eb7ee3db8ull},
+};
+
+TEST(GoldenRuns, TwoChoiceAllocatorIsBitIdentical) {
+  for (const TwoChoiceGolden& expected : kTwoChoiceGolden) {
+    baselines::TwoChoiceOptions options;
+    options.balls = expected.n;
+    options.bins = expected.n;
+    options.choices = 2;
+    options.rounds = 3;
+    options.seed = expected.seed;
+    const baselines::TwoChoiceResult result =
+        baselines::run_two_choice(options);
+    EXPECT_EQ(result.max_load, expected.max_load)
+        << "n=" << expected.n << " seed=" << expected.seed;
+    EXPECT_EQ(result.bins_used, expected.bins_used)
+        << "n=" << expected.n << " seed=" << expected.seed;
+    EXPECT_EQ(result.colliding_balls, expected.colliding_balls)
+        << "n=" << expected.n << " seed=" << expected.seed;
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const std::uint32_t bin : result.bin_of) {
+      for (int shift = 0; shift < 32; shift += 8) {
+        hash ^= (bin >> shift) & 0xffu;
+        hash *= 0x100000001b3ull;
+      }
+    }
+    EXPECT_EQ(hash, expected.bins_hash)
+        << "n=" << expected.n << " seed=" << expected.seed
+        << " — the allocation itself diverged";
+  }
 }
 
 }  // namespace

@@ -92,6 +92,26 @@ TEST(Fit, NoisyDataLowersRSquared) {
   EXPECT_GE(fit.r_squared, 0.0);
 }
 
+TEST(Fit, RSquaredStaysInsideDocumentedRange) {
+  // 1 - ss_res/syy rounds through two independently-accumulated sums, so an
+  // essentially perfect fit can land epsilon above 1 (and a total miss
+  // epsilon below 0) without the explicit clamp. A large common offset plus
+  // a tiny slope maximizes the cancellation; sweep many such fits and
+  // require the contract to hold for every one — r_squared feeds report
+  // claim tolerance bands directly.
+  for (int k = 1; k <= 200; ++k) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 7; ++i) {
+      x.push_back(1e9 + i * 1e-3 * k);
+      y.push_back(1e9 + i * 1e-3 * k * (1.0 + 1e-14 * i));
+    }
+    const LinearFit fit = fit_linear(x, y);
+    EXPECT_LE(fit.r_squared, 1.0) << "k=" << k;
+    EXPECT_GE(fit.r_squared, 0.0) << "k=" << k;
+  }
+}
+
 TEST(Fit, RejectsDegenerateInput) {
   EXPECT_THROW((void)fit_linear(std::vector<double>{1.0},
                                 std::vector<double>{1.0}),

@@ -118,15 +118,19 @@ void print_run_table(const api::CellSummary& cell, bool csv) {
 int main(int argc, char** argv) {
   std::string algorithm = "bil";
   std::string n_list = "64";
-  std::uint64_t seeds = 5;
+  std::uint32_t seeds = 5;
   std::uint64_t seed_base = 1;
   std::string adversary = "none";
-  std::uint64_t crashes = 0;
-  std::uint64_t burst_round = 1;
-  std::uint64_t per_round = 2;
+  // Numeric knobs that land in uint32 spec fields are parsed through the
+  // range-checked add_uint32 path: out-of-range (or negative-looking) input
+  // fails with a diagnostic instead of wrapping through a static_cast.
+  std::uint32_t crashes = 0;
+  std::uint32_t burst_round = 1;
+  std::uint32_t horizon = 8;
+  std::uint32_t per_round = 2;
   std::string backend = "auto";
-  std::uint64_t threads = 0;
-  std::uint64_t engine_threads = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t engine_threads = 0;
   bool eager_decide = false;
   bool csv = false;
   bool json = false;
@@ -140,23 +144,28 @@ int main(int argc, char** argv) {
                    "comma-separated list of " + api::algorithm_catalog());
   flags.add_string("n", &n_list,
                    "comma-separated list of process counts (= names)");
-  flags.add_uint("seeds", &seeds, "independent runs per grid cell");
+  flags.add_uint32("seeds", &seeds, "independent runs per grid cell");
   flags.add_uint("seed-base", &seed_base, "first seed");
   flags.add_string("adversary", &adversary, api::adversary_catalog());
-  flags.add_uint("crashes", &crashes, "crash budget t (and planned count)");
-  flags.add_uint("burst-round", &burst_round, "round for --adversary=burst");
-  flags.add_uint("per-round", &per_round,
-                 "victims per firing round (sandwich/eager/targeted)");
+  flags.add_uint32("crashes", &crashes, "crash budget t (and planned count)");
+  flags.add_uint32("burst-round", &burst_round,
+                   "round for --adversary=burst (eager start round)");
+  flags.add_uint32("horizon", &horizon,
+                   "crash-round horizon for --adversary=oblivious");
+  flags.add_uint32("per-round", &per_round,
+                   "victims per firing round (sandwich/eager/targeted)");
   flags.add_string("backend", &backend,
                    "auto|engine|fast-sim (auto: fast single-view simulator "
-                   "for large crash-free tree cells)");
-  flags.add_uint("threads", &threads,
-                 "sweep thread budget: run workers x engine threads "
-                 "(0 = all cores)");
-  flags.add_uint("engine-threads", &engine_threads,
-                 "intra-round engine threads per run; results are "
-                 "bit-identical for any value (0 = auto: parallel runs "
-                 "first, leftover budget to the engine; 1 = serial rounds)");
+                   "for large tree cells, crash-free or under a "
+                   "schedule-only crash adversary)");
+  flags.add_uint32("threads", &threads,
+                   "sweep thread budget: run workers x engine threads "
+                   "(0 = all cores)");
+  flags.add_uint32("engine-threads", &engine_threads,
+                   "intra-round engine threads per run; results are "
+                   "bit-identical for any value (0 = auto: parallel runs "
+                   "first, leftover budget to the engine; 1 = serial "
+                   "rounds)");
   flags.add_bool("eager-decide", &eager_decide,
                  "decide at leaf arrival instead of at global completion");
   flags.add_bool("csv", &csv, "machine-readable table output");
@@ -199,22 +208,17 @@ int main(int argc, char** argv) {
       spec.n_values.push_back(static_cast<std::uint32_t>(n));
     }
     spec.adversaries = {api::parse_adversary(adversary).make(
-        api::AdversaryKnobs{
-            .crashes = static_cast<std::uint32_t>(crashes),
-            .when = static_cast<sim::RoundNumber>(burst_round),
-            .per_round = static_cast<std::uint32_t>(per_round)})};
-    BIL_REQUIRE(seeds >= 1 &&
-                    seeds <= std::numeric_limits<std::uint32_t>::max(),
-                "--seeds is out of range");
-    BIL_REQUIRE(threads <= std::numeric_limits<std::uint32_t>::max(),
-                "--threads is out of range");
-    BIL_REQUIRE(engine_threads <= std::numeric_limits<std::uint32_t>::max(),
-                "--engine-threads is out of range");
-    spec.seeds = static_cast<std::uint32_t>(seeds);
+        api::AdversaryKnobs{.crashes = crashes,
+                            .when = burst_round,
+                            .horizon = horizon,
+                            .per_round = per_round})};
+    BIL_REQUIRE(seeds >= 1, "--seeds must be at least 1");
+    BIL_REQUIRE(horizon >= 1, "--horizon must be at least 1");
+    spec.seeds = seeds;
     spec.seed_base = seed_base;
     spec.backend = api::parse_backend(backend);
-    spec.threads = static_cast<std::uint32_t>(threads);
-    spec.engine_threads = static_cast<std::uint32_t>(engine_threads);
+    spec.threads = threads;
+    spec.engine_threads = engine_threads;
     spec.termination = eager_decide ? core::TerminationMode::kEagerLeaf
                                     : core::TerminationMode::kGlobal;
     // Per-seed rows are only printed for single-cell grids; don't retain
