@@ -1,0 +1,43 @@
+// Binds the backend-agnostic renaming service (src/service/) to the
+// engine/fast-sim backends.
+//
+// The service layer deliberately knows nothing about backends: it asks an
+// injected InstanceRunner for "k participants, this seed -> a rank
+// permutation". This header supplies that runner. Instance batches are
+// always crash-free (the sweep layer validates that churn specs carry no
+// adversary), so under BackendKind::kAuto every compatible instance takes
+// the fast single-view simulator regardless of size: the two backends are
+// bit-identical on that domain, and a service horizon launches thousands of
+// instances — the one-shot kAutoFastSimMinN threshold (which exists to keep
+// measured byte traffic) would only slow the service down without changing
+// a single name. Explicit kEngine is honored per instance, which is how the
+// TSan grid drives the service through the parallel engine executor.
+#pragma once
+
+#include <cstdint>
+
+#include "api/backend.h"
+#include "service/service.h"
+
+namespace bil::api {
+
+/// The concrete backend every instance of a churn cell will use under the
+/// service policy above (uniform across the horizon, so it is also the
+/// cell's reported backend).
+[[nodiscard]] BackendKind churn_instance_backend(const CellConfig& cell);
+
+/// Builds the instance runner for one churn cell: each call executes one
+/// crash-free renaming instance with `participants` balls on the resolved
+/// backend and returns its rank permutation, round count and message cost.
+[[nodiscard]] service::InstanceRunner make_instance_runner(
+    const CellConfig& cell, std::uint32_t engine_threads);
+
+/// Runs one full service horizon for a churn cell: one RenamingService over
+/// the cell's algorithm with the given service seed. Deterministic in
+/// (cell, churn, seed) — engine_threads moves wall clock only.
+[[nodiscard]] service::ServiceMetrics run_churn_cell(
+    const CellConfig& cell, const service::ChurnSpec& churn,
+    std::uint64_t seed, std::uint32_t engine_threads,
+    service::ServiceObserver* observer = nullptr);
+
+}  // namespace bil::api

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "service/churn.h"
 
 namespace bil::api {
 
@@ -92,6 +93,14 @@ struct ExperimentSpec {
   std::uint32_t gossip_t = harness::kWaitFree;
   sim::Label label_offset = 0;
   sim::Label label_stride = 1;
+
+  /// Long-lived service mode (src/service/): when churn.enabled(), each
+  /// (cell, seed) pair runs one RenamingService horizon — a churn-driven
+  /// stream of renaming instances with name recycling — instead of one
+  /// one-shot run, and cells carry steady-state summaries
+  /// (CellSummary::churn). Churn cells must be crash-free with default
+  /// labelling; n is the target steady-state population.
+  service::ChurnSpec churn;
 };
 
 }  // namespace bil::api

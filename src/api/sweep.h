@@ -18,9 +18,37 @@
 
 #include "api/backend.h"
 #include "api/experiment.h"
+#include "service/service.h"
 #include "stats/summary.h"
 
 namespace bil::api {
+
+/// Steady-state summaries of a churn-mode cell, aggregated over its seeds
+/// (each seed is one full RenamingService horizon; see service/service.h).
+struct ChurnCellSummary {
+  /// False for one-shot cells; the summaries below are meaningful only
+  /// when set.
+  bool enabled = false;
+  service::ChurnSpec spec;
+  /// Names assigned per service round.
+  stats::Summary names_per_round;
+  /// names_per_round / mean arrival rate (1.0 = the service keeps up).
+  stats::Summary throughput_ratio;
+  /// Rounds-to-name: per-horizon mean / median / p99, summarized over seeds.
+  stats::Summary latency_mean;
+  stats::Summary latency_p50;
+  stats::Summary latency_p99;
+  /// Mean live-name density (live clients / namespace size).
+  stats::Summary density;
+  /// Joiners per renaming instance (per-horizon mean).
+  stats::Summary batch_mean;
+  stats::Summary instances;
+  stats::Summary backlog_peak;
+  stats::Summary namespace_final;
+  stats::Summary live_final;
+  /// Per-seed service metrics; populated only when the spec set keep_runs.
+  std::vector<service::ServiceMetrics> runs;
+};
 
 /// Aggregated outcome of one grid cell.
 struct CellSummary {
@@ -37,8 +65,13 @@ struct CellSummary {
   /// materialized) — write_json emits null for them.
   stats::Summary bytes;
   /// Per-run records in seed-index order; populated only when the spec set
-  /// keep_runs.
+  /// keep_runs (one-shot mode; churn mode fills churn.runs instead).
   std::vector<RunRecord> runs;
+  /// Steady-state summaries when the spec ran in churn mode. In that mode
+  /// `rounds` holds the per-horizon mean rounds-to-name (so round-metric
+  /// consumers keep working), `total_rounds` the horizon, and `messages`
+  /// the per-horizon total; bytes are never measured.
+  ChurnCellSummary churn;
 };
 
 struct SweepResult {
@@ -75,6 +108,10 @@ class SweepRunner {
       const ExperimentSpec& spec);
 
  private:
+  /// Churn-mode execution: one RenamingService horizon per (cell, seed).
+  [[nodiscard]] SweepResult run_churn(std::uint32_t budget,
+                                      std::uint32_t engine_threads) const;
+
   ExperimentSpec spec_;
   std::vector<CellConfig> cells_;
 };

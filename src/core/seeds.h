@@ -20,5 +20,15 @@ inline constexpr std::uint64_t kSeedDomainHarness = 3;
 /// derive_seed(sweep_seed_base, kSeedDomainSweep, cell_index) seeds one
 /// sweep cell's run-seed stream (api::SeedMode::kPerCell).
 inline constexpr std::uint64_t kSeedDomainSweep = 4;
+/// derive_seed(service_seed, kSeedDomainChurnArrivals, round) seeds the
+/// arrival-count draw for one churn round; random-access addressing keeps
+/// service::ChurnStream order-independent.
+inline constexpr std::uint64_t kSeedDomainChurnArrivals = 5;
+/// derive_seed(service_seed, kSeedDomainChurnLease, client_id) seeds one
+/// client's lease-length draw in the renaming service.
+inline constexpr std::uint64_t kSeedDomainChurnLease = 6;
+/// derive_seed(service_seed, kSeedDomainServiceInstance, instance_index)
+/// seeds the renaming instance launched for one joiner batch.
+inline constexpr std::uint64_t kSeedDomainServiceInstance = 7;
 
 }  // namespace bil::core

@@ -58,6 +58,11 @@ struct SeriesSpec {
   /// (`algorithm` is ignored; `two_choice_rounds` below applies).
   bool two_choice = false;
   std::uint32_t two_choice_rounds = 3;
+  /// Long-lived service mode: when churn.enabled(), each point runs
+  /// RenamingService horizons instead of one-shot instances (n is the
+  /// steady-state population target) and the point carries steady-state
+  /// churn summaries. The rounds metric becomes mean rounds-to-name.
+  service::ChurnSpec churn;
 };
 
 /// Which measured quantity a claim constrains.
@@ -79,6 +84,17 @@ enum class Metric : std::uint8_t {
   kCrashesMean,
   /// Two-choice series only: worst max-load over the point's runs.
   kMaxLoadMax,
+  /// Churn series only — steady-state service metrics (mean over seeds).
+  /// Names assigned per service round.
+  kChurnNamesPerRound,
+  /// names/round divided by the spec's mean arrival rate (1.0 = keeps up).
+  kChurnThroughputRatio,
+  /// Rounds-to-name median within a horizon.
+  kChurnLatencyP50,
+  /// Rounds-to-name 99th percentile within a horizon.
+  kChurnLatencyP99,
+  /// Mean live-name density (live clients / namespace size).
+  kChurnDensityMean,
 };
 
 [[nodiscard]] const char* to_string(Metric metric) noexcept;

@@ -62,6 +62,7 @@ SeriesPoint run_sweep_point(const SeriesSpec& spec, std::uint32_t n,
   sweep.gossip_t = spec.gossip_t ? spec.gossip_t(n) : harness::kWaitFree;
   sweep.threads = options.threads;
   sweep.engine_threads = options.engine_threads;
+  sweep.churn = spec.churn;
 
   api::SweepResult result = api::SweepRunner(std::move(sweep)).run();
   BIL_ENSURE(result.cells.size() == 1, "point spec expanded to one cell");
@@ -76,7 +77,9 @@ SeriesPoint run_sweep_point(const SeriesSpec& spec, std::uint32_t n,
   point.crashes = cell.crashes;
   point.messages = cell.messages;
   point.bytes = cell.bytes;
-  point.bytes_measured = cell.backend_used != api::BackendKind::kFastSim;
+  point.bytes_measured =
+      cell.backend_used != api::BackendKind::kFastSim && !cell.churn.enabled;
+  point.churn = cell.churn;
   return point;
 }
 
@@ -146,6 +149,24 @@ double metric_value(const SeriesPoint& point, Metric metric) {
       BIL_REQUIRE(point.max_load.count > 0,
                   "max load is a two-choice metric");
       return point.max_load.max;
+    case Metric::kChurnNamesPerRound:
+      BIL_REQUIRE(point.churn.enabled, "names/round is a churn metric");
+      return point.churn.names_per_round.mean;
+    case Metric::kChurnThroughputRatio:
+      BIL_REQUIRE(point.churn.enabled, "throughput ratio is a churn metric");
+      return point.churn.throughput_ratio.mean;
+    case Metric::kChurnLatencyP50:
+      BIL_REQUIRE(point.churn.enabled,
+                  "rounds-to-name p50 is a churn metric");
+      return point.churn.latency_p50.mean;
+    case Metric::kChurnLatencyP99:
+      BIL_REQUIRE(point.churn.enabled,
+                  "rounds-to-name p99 is a churn metric");
+      return point.churn.latency_p99.mean;
+    case Metric::kChurnDensityMean:
+      BIL_REQUIRE(point.churn.enabled,
+                  "live-name density is a churn metric");
+      return point.churn.density.mean;
   }
   BIL_REQUIRE(false, "unhandled metric");
   throw std::logic_error("unreachable");
@@ -405,6 +426,22 @@ void write_point_json(std::ostream& os, const SeriesPoint& point,
     } else {
       os << "null";
     }
+    if (point.churn.enabled) {
+      os << ",\"churn\":{\"profile\":\""
+         << service::to_string(point.churn.spec.profile)
+         << "\",\"horizon_rounds\":" << point.churn.spec.horizon_rounds
+         << ",\"names_per_round\":";
+      write_summary_json(os, point.churn.names_per_round);
+      os << ",\"throughput_ratio\":";
+      write_summary_json(os, point.churn.throughput_ratio);
+      os << ",\"latency_p50\":";
+      write_summary_json(os, point.churn.latency_p50);
+      os << ",\"latency_p99\":";
+      write_summary_json(os, point.churn.latency_p99);
+      os << ",\"density\":";
+      write_summary_json(os, point.churn.density);
+      os << '}';
+    }
   }
   os << '}';
 }
@@ -535,6 +572,9 @@ void write_preset_markdown(const PresetReport& report, std::ostream& os,
                       "median", "max", "mean msgs", "bytes/msg"});
   stats::Table tc_table({"series", "n", "max load (worst)",
                          "colliding balls (mean)", "colliding (min)"});
+  stats::Table churn_table({"series", "n", "profile", "backend",
+                            "names/round", "throughput", "lat p50", "lat p99",
+                            "density", "namespace"});
   for (const SeriesResult& series : report.series) {
     for (const SeriesPoint& point : series.points) {
       if (series.spec.two_choice) {
@@ -542,6 +582,19 @@ void write_preset_markdown(const PresetReport& report, std::ostream& os,
                           stats::fmt_fixed(point.max_load.max, 0),
                           stats::fmt_fixed(point.colliding.mean, 1),
                           stats::fmt_fixed(point.colliding.min, 0)});
+        continue;
+      }
+      if (point.churn.enabled) {
+        churn_table.add_row(
+            {series.spec.label, stats::fmt_int(point.n),
+             service::to_string(point.churn.spec.profile),
+             api::to_string(point.backend_used),
+             stats::fmt_fixed(point.churn.names_per_round.mean, 1),
+             stats::fmt_fixed(point.churn.throughput_ratio.mean, 4),
+             stats::fmt_fixed(point.churn.latency_p50.mean, 1),
+             stats::fmt_fixed(point.churn.latency_p99.mean, 1),
+             stats::fmt_fixed(point.churn.density.mean, 3),
+             stats::fmt_fixed(point.churn.namespace_final.mean, 0)});
         continue;
       }
       const bool has_traffic =
@@ -568,6 +621,12 @@ void write_preset_markdown(const PresetReport& report, std::ostream& os,
       rendered << '\n';
     }
     tc_table.print(rendered);
+  }
+  if (churn_table.rows() > 0) {
+    if (table.rows() > 0 || tc_table.rows() > 0) {
+      rendered << '\n';
+    }
+    churn_table.print(rendered);
   }
   os << "```\n" << rendered.str() << "```\n\n";
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "api/sweep.h"
 #include "report/presets.h"
 #include "stats/summary.h"
 
@@ -38,6 +39,9 @@ struct SeriesPoint {
   /// Two-choice points only: per-run max bin load and colliding-ball count.
   stats::Summary max_load;
   stats::Summary colliding;
+  /// Churn points only: the cell's steady-state service summaries
+  /// (churn.enabled marks the mode).
+  api::ChurnCellSummary churn;
 };
 
 struct SeriesResult {

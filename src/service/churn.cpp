@@ -1,0 +1,161 @@
+#include "service/churn.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/seeds.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace bil::service {
+namespace {
+
+/// Uniform double in [0, 1) from one raw xoshiro output: the top 53 bits
+/// scaled by 2^-53. IEEE-exact, so byte-identical on every platform the
+/// generator itself is deterministic on.
+double uniform_unit(Rng& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Knuth's multiplication method is exact but exp(-lambda) underflows past
+/// lambda ~ 700; a Poisson(lambda) variable is the sum of independent
+/// Poisson(lambda / m) chunks, so cap each chunk's mean here.
+constexpr double kMaxChunkLambda = 32.0;
+
+std::uint32_t sample_poisson_chunk(Rng& rng, double lambda) {
+  const double threshold = std::exp(-lambda);
+  std::uint32_t count = 0;
+  double product = uniform_unit(rng);
+  while (product > threshold) {
+    ++count;
+    product *= uniform_unit(rng);
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint32_t sample_poisson(Rng& rng, double lambda) {
+  BIL_REQUIRE(lambda >= 0.0 && std::isfinite(lambda),
+              "Poisson mean must be finite and non-negative");
+  std::uint64_t total = 0;
+  while (lambda > kMaxChunkLambda) {
+    total += sample_poisson_chunk(rng, kMaxChunkLambda);
+    lambda -= kMaxChunkLambda;
+  }
+  total += sample_poisson_chunk(rng, lambda);
+  return static_cast<std::uint32_t>(total);
+}
+
+const char* to_string(ChurnProfile profile) noexcept {
+  switch (profile) {
+    case ChurnProfile::kPoisson:
+      return "poisson";
+    case ChurnProfile::kBursty:
+      return "bursty";
+    case ChurnProfile::kDiurnalRamp:
+      return "diurnal";
+  }
+  return "?";
+}
+
+ChurnProfile parse_churn_profile(std::string_view name) {
+  if (name == "poisson") {
+    return ChurnProfile::kPoisson;
+  }
+  if (name == "bursty") {
+    return ChurnProfile::kBursty;
+  }
+  if (name == "diurnal") {
+    return ChurnProfile::kDiurnalRamp;
+  }
+  BIL_REQUIRE(false, "unknown churn profile '" + std::string(name) +
+                         "' (expected poisson|bursty|diurnal)");
+  return ChurnProfile::kPoisson;
+}
+
+std::uint32_t ChurnSpec::resolved_hold_rounds() const {
+  if (hold_rounds > 0) {
+    return hold_rounds;
+  }
+  BIL_REQUIRE(arrival_permille >= 1,
+              "churn arrival rate must be at least 1 permille");
+  // Little's law: live = (n * permille / 1000) * hold, so this hold keeps
+  // the steady-state live population at the target n.
+  const std::uint32_t hold = 1000 / arrival_permille;
+  return hold > 0 ? hold : 1;
+}
+
+double ChurnSpec::mean_arrivals_per_round(std::uint32_t n) const {
+  const double base =
+      static_cast<double>(n) * static_cast<double>(arrival_permille) / 1000.0;
+  switch (profile) {
+    case ChurnProfile::kPoisson:
+      return base;
+    case ChurnProfile::kBursty: {
+      // One spike of mean n*burst_permille/1000 every burst_period rounds.
+      const double spike = static_cast<double>(n) *
+                           static_cast<double>(burst_permille) / 1000.0;
+      return base + spike / static_cast<double>(burst_period);
+    }
+    case ChurnProfile::kDiurnalRamp:
+      // The triangle wave has mean exactly 1 over a full period.
+      return base;
+  }
+  return base;
+}
+
+ChurnStream::ChurnStream(const ChurnSpec& spec, std::uint32_t n,
+                         std::uint64_t seed)
+    : spec_(spec), n_(n), seed_(seed) {
+  BIL_REQUIRE(spec.enabled(), "ChurnStream needs horizon_rounds >= 1");
+  BIL_REQUIRE(n >= 1, "churn target population must be at least 1");
+  BIL_REQUIRE(spec.arrival_permille >= 1,
+              "churn arrival rate must be at least 1 permille");
+  if (spec.profile == ChurnProfile::kBursty) {
+    BIL_REQUIRE(spec.burst_period >= 1, "burst period must be at least 1");
+  }
+  if (spec.profile == ChurnProfile::kDiurnalRamp) {
+    BIL_REQUIRE(spec.ramp_period >= 2, "ramp period must be at least 2");
+  }
+}
+
+double ChurnStream::lambda_at(std::uint32_t round) const {
+  const double base = static_cast<double>(n_) *
+                      static_cast<double>(spec_.arrival_permille) / 1000.0;
+  switch (spec_.profile) {
+    case ChurnProfile::kPoisson:
+      return base;
+    case ChurnProfile::kBursty: {
+      const bool spike_round =
+          round % spec_.burst_period == spec_.burst_period - 1;
+      if (!spike_round) {
+        return base;
+      }
+      return base + static_cast<double>(n_) *
+                        static_cast<double>(spec_.burst_permille) / 1000.0;
+    }
+    case ChurnProfile::kDiurnalRamp: {
+      // Triangle wave over ramp_period rounds: factor ramps 0 -> 2 -> 0
+      // with mean 1, built from integers so the factor sequence is exact.
+      const std::uint32_t period = spec_.ramp_period;
+      const std::uint32_t phase = round % period;
+      const std::uint32_t dist = phase < period - phase ? phase : period - phase;
+      const double factor =
+          4.0 * static_cast<double>(dist) / static_cast<double>(period);
+      return base * factor;
+    }
+  }
+  return base;
+}
+
+std::uint32_t ChurnStream::arrivals_at(std::uint32_t round) const {
+  BIL_REQUIRE(round < spec_.horizon_rounds,
+              "churn round queried past the horizon");
+  // Seeded per round (not sequentially) so the stream is random-access:
+  // the count for round r never depends on which rounds were queried first.
+  Rng rng(derive_seed(seed_, core::kSeedDomainChurnArrivals, round));
+  return sample_poisson(rng, lambda_at(round));
+}
+
+}  // namespace bil::service

@@ -1,0 +1,104 @@
+// Deterministic churn event streams for the long-lived renaming service.
+//
+// A ChurnSpec describes how clients arrive at and depart from the service,
+// in service rounds (the same lock-step unit the renaming instances are
+// measured in). ChurnStream turns a (spec, n, seed) triple into a
+// random-access arrival process: arrivals_at(round) is a pure function of
+// those three values — not of how many rounds were queried before, or in
+// what order — so the service driver, the property tests and any replay
+// tooling all see the identical event stream. Departures are not part of
+// the stream: a client's lease length is drawn by the service at name
+// assignment (service.h), because a departure can only exist relative to
+// the join the service granted.
+//
+// The three profiles cover the shapes a production service meets:
+//   * kPoisson     — memoryless steady load (independent Poisson rounds);
+//   * kBursty      — the Poisson base plus a periodic arrival spike
+//                    (flash crowds, cron-aligned reconnect storms);
+//   * kDiurnalRamp — the base rate modulated by a triangle wave with mean
+//                    1 (a day-night load curve, ramping 0 → 2× → 0).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bil {
+class Rng;
+}
+
+namespace bil::service {
+
+enum class ChurnProfile : std::uint8_t {
+  kPoisson,
+  kBursty,
+  kDiurnalRamp,
+};
+
+[[nodiscard]] const char* to_string(ChurnProfile profile) noexcept;
+
+/// Parses "poisson" | "bursty" | "diurnal" (throws with a diagnostic
+/// listing the accepted names otherwise).
+[[nodiscard]] ChurnProfile parse_churn_profile(std::string_view name);
+
+/// The churn workload, scale-free: rates are expressed in per-mille of the
+/// target population n, so the same spec describes the same *relative* load
+/// at n = 256 and n = 2^18. horizon_rounds == 0 means "churn mode off" —
+/// the sentinel the experiment API uses to keep one-shot sweeps unchanged.
+struct ChurnSpec {
+  ChurnProfile profile = ChurnProfile::kPoisson;
+  /// Service rounds to simulate; 0 disables churn mode.
+  std::uint32_t horizon_rounds = 0;
+  /// Mean arrivals per round = n * arrival_permille / 1000.
+  std::uint32_t arrival_permille = 10;
+  /// Mean rounds a client holds its name before leaving; 0 = auto:
+  /// 1000 / arrival_permille, the value that makes the steady-state live
+  /// population equal the target n (Little's law: live = rate * hold).
+  std::uint32_t hold_rounds = 0;
+  /// kBursty: every burst_period rounds an extra Poisson spike with mean
+  /// n * burst_permille / 1000 arrives in one round.
+  std::uint32_t burst_period = 256;
+  std::uint32_t burst_permille = 50;
+  /// kDiurnalRamp: period of the triangle-wave rate modulation.
+  std::uint32_t ramp_period = 2048;
+  /// Start with a full steady-state population already holding names
+  /// (their joins predate the horizon and are not counted in metrics).
+  bool warm_start = true;
+
+  [[nodiscard]] bool enabled() const noexcept { return horizon_rounds > 0; }
+
+  /// hold_rounds with the auto sentinel resolved.
+  [[nodiscard]] std::uint32_t resolved_hold_rounds() const;
+
+  /// Expected arrivals per round for target population n, averaged over the
+  /// horizon (profile modulation and burst spikes included). The
+  /// steady-state throughput claims divide measured names/round by this.
+  [[nodiscard]] double mean_arrivals_per_round(std::uint32_t n) const;
+};
+
+/// Deterministic random-access arrival process. Each round's count draws
+/// from an Rng seeded by (seed, round) alone, so the stream can be queried
+/// out of order, re-queried, or sliced without changing any answer.
+class ChurnStream {
+ public:
+  ChurnStream(const ChurnSpec& spec, std::uint32_t n, std::uint64_t seed);
+
+  /// Arrivals in `round` (0-based, < horizon_rounds).
+  [[nodiscard]] std::uint32_t arrivals_at(std::uint32_t round) const;
+
+  [[nodiscard]] const ChurnSpec& spec() const noexcept { return spec_; }
+
+ private:
+  /// Mean of this round's Poisson draw (profile modulation + spike).
+  [[nodiscard]] double lambda_at(std::uint32_t round) const;
+
+  ChurnSpec spec_;
+  std::uint32_t n_;
+  std::uint64_t seed_;
+};
+
+/// Exact Poisson(lambda) sample from the given generator (chunked Knuth
+/// multiplication, numerically safe for large lambda). Deterministic in the
+/// generator state; exposed for the service's burst draws and for tests.
+[[nodiscard]] std::uint32_t sample_poisson(Rng& rng, double lambda);
+
+}  // namespace bil::service

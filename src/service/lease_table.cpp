@@ -1,0 +1,61 @@
+#include "service/lease_table.h"
+
+#include <string>
+
+#include "util/contract.h"
+
+namespace bil::service {
+
+NameLeaseTable::NameLeaseTable(std::uint32_t initial_size)
+    : size_(initial_size) {
+  BIL_REQUIRE(initial_size >= 1, "namespace must hold at least one name");
+  for (std::uint64_t name = 1; name <= initial_size; ++name) {
+    free_.insert(free_.end(), name);
+  }
+}
+
+std::vector<std::uint64_t> NameLeaseTable::acquire(std::uint32_t count) {
+  BIL_REQUIRE(count <= free_.size(),
+              "lease request for " + std::to_string(count) + " names but only " +
+                  std::to_string(free_.size()) + " are free");
+  std::vector<std::uint64_t> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto it = free_.begin();
+    names.push_back(*it);
+    leased_.insert(*it);
+    free_.erase(it);
+  }
+  return names;
+}
+
+void NameLeaseTable::release(std::uint64_t name) {
+  const auto it = leased_.find(name);
+  BIL_REQUIRE(it != leased_.end(),
+              "release of name " + std::to_string(name) +
+                  " which is not currently leased");
+  leased_.erase(it);
+  free_.insert(name);
+}
+
+void NameLeaseTable::grow(std::uint32_t new_size) {
+  BIL_REQUIRE(new_size > size_, "grow must enlarge the namespace");
+  for (std::uint64_t name = size_ + 1; name <= new_size; ++name) {
+    free_.insert(free_.end(), name);
+  }
+  size_ = new_size;
+}
+
+bool NameLeaseTable::try_shrink(std::uint32_t new_size) {
+  BIL_REQUIRE(new_size >= 1 && new_size < size_,
+              "shrink target must be in [1, namespace_size)");
+  if (max_leased() > new_size) {
+    return false;
+  }
+  // Drop the free names above the new bound; leased names all fit already.
+  free_.erase(free_.upper_bound(new_size), free_.end());
+  size_ = new_size;
+  return true;
+}
+
+}  // namespace bil::service

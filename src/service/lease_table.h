@@ -1,0 +1,71 @@
+// Name-lease table for the long-lived renaming service.
+//
+// The one-shot algorithm ends with a permutation of 1..n; a long-lived
+// service instead *leases* names: a joining client acquires a free name,
+// holds it, and releases it on departure, after which the name may be handed
+// to a later client. This table owns that lifecycle and enforces the two
+// lease invariants the service's safety argument rests on:
+//   * a name is leased to at most one client at a time (acquire only hands
+//     out members of the free pool, and moving a name between pools is the
+//     only state transition);
+//   * release returns exactly the leased names (releasing a free or
+//     out-of-range name is a contract violation, not a no-op).
+//
+// Names are 1-based and dense in [1, namespace_size], matching the tight
+// 1..n guarantee of the underlying algorithm. acquire() hands out the
+// smallest free names in ascending order, which keeps the live set packed
+// toward small names and makes shrinking the namespace (adaptive sizing,
+// service.h) possible once departures thin out the top of the range.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace bil::service {
+
+class NameLeaseTable {
+ public:
+  /// Starts with names 1..initial_size, all free. Requires initial_size >= 1.
+  explicit NameLeaseTable(std::uint32_t initial_size);
+
+  /// Leases the `count` smallest free names, in ascending order.
+  /// Requires count <= free_count().
+  [[nodiscard]] std::vector<std::uint64_t> acquire(std::uint32_t count);
+
+  /// Returns a leased name to the free pool. Requires that `name` is
+  /// currently leased.
+  void release(std::uint64_t name);
+
+  /// Grows the namespace to new_size, freeing names (old_size, new_size].
+  /// Requires new_size > namespace_size().
+  void grow(std::uint32_t new_size);
+
+  /// Shrinks the namespace to new_size if no leased name exceeds it;
+  /// returns false (and changes nothing) otherwise.
+  /// Requires 1 <= new_size < namespace_size().
+  [[nodiscard]] bool try_shrink(std::uint32_t new_size);
+
+  [[nodiscard]] std::uint32_t namespace_size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t live() const noexcept {
+    return static_cast<std::uint32_t>(leased_.size());
+  }
+  [[nodiscard]] std::uint32_t free_count() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+  /// Largest currently-leased name (0 when nothing is leased); the bound
+  /// adaptive shrinking must respect.
+  [[nodiscard]] std::uint64_t max_leased() const noexcept {
+    return leased_.empty() ? 0 : *leased_.rbegin();
+  }
+  [[nodiscard]] bool is_leased(std::uint64_t name) const {
+    return leased_.count(name) > 0;
+  }
+
+ private:
+  std::uint32_t size_;
+  std::set<std::uint64_t> free_;
+  std::set<std::uint64_t> leased_;
+};
+
+}  // namespace bil::service

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <charconv>
 #include <limits>
 #include <sstream>
@@ -7,6 +8,30 @@
 #include "util/contract.h"
 
 namespace bil {
+
+namespace {
+
+/// Levenshtein edit distance, O(|a|·|b|) with two rolling rows — flag names
+/// are short, so this is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> previous(b.size() + 1);
+  std::vector<std::size_t> current(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    previous[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    current[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] = std::min({previous[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[b.size()];
+}
+
+}  // namespace
 
 FlagSet::FlagSet(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
@@ -119,7 +144,8 @@ bool FlagSet::parse(int argc, const char* const* argv) {
     }
 
     const auto it = flags_.find(name);
-    BIL_REQUIRE(it != flags_.end(), "unknown flag --" + name);
+    BIL_REQUIRE(it != flags_.end(),
+                "unknown flag --" + name + suggestion_for(name));
     if (!value.has_value()) {
       BIL_REQUIRE(i + 1 < argc, "--" + name + " is missing its value");
       value = argv[++i];
@@ -127,6 +153,35 @@ bool FlagSet::parse(int argc, const char* const* argv) {
     set_value(name, it->second, *value);
   }
   return true;
+}
+
+std::string FlagSet::suggestion_for(const std::string& name) const {
+  // Candidates are every registered name plus the --no- spelling of every
+  // boolean, so `--no-warmstart` suggests `--no-warm-start` instead of the
+  // unnegated base.
+  std::string best;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  const auto consider = [&](const std::string& candidate) {
+    const std::size_t distance = edit_distance(name, candidate);
+    if (distance < best_distance ||
+        (distance == best_distance && candidate < best)) {
+      best = candidate;
+      best_distance = distance;
+    }
+  };
+  for (const auto& [flag_name, flag] : flags_) {
+    consider(flag_name);
+    if (flag.kind == Kind::kBool) {
+      consider("no-" + flag_name);
+    }
+  }
+  // Only speak up when the typo is plausibly a near miss; a wild guess is
+  // worse than silence.
+  const std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+  if (best.empty() || best_distance > budget) {
+    return "";
+  }
+  return " (did you mean --" + best + "?)";
 }
 
 std::string FlagSet::usage() const {

@@ -41,6 +41,11 @@ class FlagSet {
   /// The generated usage text.
   [[nodiscard]] std::string usage() const;
 
+  /// " (did you mean --X?)" for the closest registered flag (including
+  /// --no- spellings of booleans) within an edit-distance budget, or ""
+  /// when nothing is plausibly close. Feeds the unknown-flag diagnostic.
+  [[nodiscard]] std::string suggestion_for(const std::string& name) const;
+
  private:
   enum class Kind : std::uint8_t { kString, kUint, kUint32, kBool };
   struct Flag {

@@ -1,0 +1,343 @@
+// Long-lived renaming service suites.
+//
+// Part 1 — name-lease safety, checked as a property over every churn
+// profile × seed: hanging off ServiceObserver, an auditor shadows the
+// service's lease lifecycle and asserts, at every join, that
+//   * no two live clients ever hold the same name (lease exclusivity), and
+//   * a recycled name is handed out only after its previous holder's
+//     departure was observed (no reuse while leased),
+// and at every leave that the departing client returns exactly the name it
+// was granted. The grid includes an explicit-engine cell with
+// engine_threads > 1, which is the cell the TSan CI job drives through the
+// parallel executor.
+//
+// Part 2 — determinism: service metrics are byte-equal across engine
+// thread widths and across the engine/fast-sim backends, and ChurnStream
+// is a pure function of (spec, n, seed, round) regardless of query order.
+//
+// Part 3 — NameLeaseTable unit coverage incl. contract violations, and
+// sanity on the chunked Poisson sampler's mean.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "api/churn.h"
+#include "api/experiment.h"
+#include "service/churn.h"
+#include "service/lease_table.h"
+#include "service/service.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace bil {
+namespace {
+
+using service::ChurnProfile;
+using service::ChurnSpec;
+using service::ChurnStream;
+using service::NameLeaseTable;
+using service::ServiceMetrics;
+
+ChurnSpec make_spec(ChurnProfile profile, std::uint32_t horizon) {
+  ChurnSpec spec;
+  spec.profile = profile;
+  spec.horizon_rounds = horizon;
+  spec.arrival_permille = 10;
+  // Small periods so the short test horizon still crosses several bursts
+  // and a full diurnal cycle.
+  spec.burst_period = 64;
+  spec.ramp_period = 256;
+  return spec;
+}
+
+api::CellConfig make_cell(std::uint32_t n, api::BackendKind backend) {
+  api::CellConfig cell;
+  cell.algorithm = harness::Algorithm::kBallsIntoLeaves;
+  cell.n = n;
+  cell.backend = backend;
+  return cell;
+}
+
+// ---- Part 1: lease invariants under churn ----------------------------------
+
+/// Shadows the lease lifecycle from observer events and fails the test the
+/// moment either lease invariant breaks.
+class LeaseAuditor : public service::ServiceObserver {
+ public:
+  void on_join(std::uint64_t client, std::uint64_t name,
+               std::uint32_t round) override {
+    EXPECT_EQ(name_of_.count(client), 0u)
+        << "client " << client << " joined twice (round " << round << ")";
+    const auto [it, inserted] = holder_of_.emplace(name, client);
+    EXPECT_TRUE(inserted) << "name " << name << " handed to client " << client
+                          << " while still leased to client " << it->second
+                          << " (round " << round << ")";
+    name_of_[client] = name;
+    ++joins_;
+  }
+
+  void on_leave(std::uint64_t client, std::uint64_t name,
+                std::uint32_t round) override {
+    const auto it = name_of_.find(client);
+    ASSERT_NE(it, name_of_.end())
+        << "client " << client << " left without joining (round " << round
+        << ")";
+    EXPECT_EQ(it->second, name)
+        << "client " << client << " released a name it never held (round "
+        << round << ")";
+    holder_of_.erase(it->second);
+    name_of_.erase(it);
+    ++leaves_;
+  }
+
+  void on_instance(std::uint32_t, std::uint32_t batch, std::uint32_t) override {
+    EXPECT_GT(batch, 0u);
+  }
+
+  void on_resize(std::uint32_t, std::uint32_t old_size,
+                 std::uint32_t new_size) override {
+    EXPECT_NE(old_size, new_size);
+  }
+
+  [[nodiscard]] std::uint64_t joins() const { return joins_; }
+  [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
+  [[nodiscard]] std::size_t live() const { return name_of_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> name_of_;
+  std::map<std::uint64_t, std::uint64_t> holder_of_;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+using ChurnGridParam = std::tuple<ChurnProfile, std::uint64_t /*seed*/>;
+
+class ChurnLeaseGrid : public ::testing::TestWithParam<ChurnGridParam> {};
+
+TEST_P(ChurnLeaseGrid, LeaseInvariantsHold) {
+  const auto [profile, seed] = GetParam();
+  const auto cell = make_cell(128, api::BackendKind::kAuto);
+  const ChurnSpec spec = make_spec(profile, 512);
+
+  LeaseAuditor auditor;
+  const ServiceMetrics metrics =
+      api::run_churn_cell(cell, spec, seed, /*engine_threads=*/1, &auditor);
+
+  // The auditor saw every committed join and every departure the metrics
+  // counted, plus the warm-start population's joins/leaves.
+  EXPECT_GE(auditor.joins(), metrics.joined);
+  EXPECT_GE(auditor.leaves(), metrics.departed);
+  EXPECT_EQ(auditor.joins() - auditor.leaves(), auditor.live());
+  EXPECT_EQ(metrics.live_final, auditor.live());
+  EXPECT_GT(metrics.instances, 0u);
+  EXPECT_LE(metrics.joined, metrics.arrivals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ChurnLeaseGrid,
+    ::testing::Combine(::testing::Values(ChurnProfile::kPoisson,
+                                         ChurnProfile::kBursty,
+                                         ChurnProfile::kDiurnalRamp),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{7})));
+
+// The cell the TSan job exercises: explicit engine backend with a parallel
+// intra-round executor. Safety must hold and the auditor must see the same
+// event stream as the single-threaded engine run.
+TEST(ChurnService, LeaseInvariantsOnParallelEngine) {
+  const auto cell = make_cell(64, api::BackendKind::kEngine);
+  const ChurnSpec spec = make_spec(ChurnProfile::kBursty, 256);
+
+  LeaseAuditor auditor;
+  const ServiceMetrics wide =
+      api::run_churn_cell(cell, spec, 3, /*engine_threads=*/4, &auditor);
+  const ServiceMetrics narrow =
+      api::run_churn_cell(cell, spec, 3, /*engine_threads=*/1);
+  EXPECT_EQ(wide.joined, narrow.joined);
+  EXPECT_EQ(wide.messages, narrow.messages);
+  EXPECT_EQ(auditor.live(), wide.live_final);
+}
+
+// ---- Part 2: determinism ----------------------------------------------------
+
+void expect_metrics_equal(const ServiceMetrics& a, const ServiceMetrics& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.joined, b.joined);
+  EXPECT_EQ(a.departed, b.departed);
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.instance_rounds, b.instance_rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.names_per_round, b.names_per_round);
+  EXPECT_EQ(a.throughput_ratio, b.throughput_ratio);
+  EXPECT_EQ(a.latency.count, b.latency.count);
+  EXPECT_EQ(a.latency.mean, b.latency.mean);
+  EXPECT_EQ(a.latency.median, b.latency.median);
+  EXPECT_EQ(a.latency.p99, b.latency.p99);
+  EXPECT_EQ(a.latency.max, b.latency.max);
+  EXPECT_EQ(a.batch.mean, b.batch.mean);
+  EXPECT_EQ(a.density_mean, b.density_mean);
+  EXPECT_EQ(a.live_final, b.live_final);
+  EXPECT_EQ(a.live_peak, b.live_peak);
+  EXPECT_EQ(a.namespace_final, b.namespace_final);
+  EXPECT_EQ(a.namespace_peak, b.namespace_peak);
+  EXPECT_EQ(a.backlog_peak, b.backlog_peak);
+  EXPECT_EQ(a.grows, b.grows);
+  EXPECT_EQ(a.shrinks, b.shrinks);
+}
+
+TEST(ChurnService, MetricsInvariantAcrossEngineThreadWidths) {
+  const auto cell = make_cell(64, api::BackendKind::kEngine);
+  const ChurnSpec spec = make_spec(ChurnProfile::kPoisson, 256);
+  const ServiceMetrics one = api::run_churn_cell(cell, spec, 5, 1);
+  const ServiceMetrics four = api::run_churn_cell(cell, spec, 5, 4);
+  expect_metrics_equal(one, four);
+}
+
+TEST(ChurnService, EngineAndFastSimAgree) {
+  const ChurnSpec spec = make_spec(ChurnProfile::kDiurnalRamp, 256);
+  const ServiceMetrics engine =
+      api::run_churn_cell(make_cell(64, api::BackendKind::kEngine), spec, 9, 1);
+  const ServiceMetrics fast = api::run_churn_cell(
+      make_cell(64, api::BackendKind::kFastSim), spec, 9, 1);
+  expect_metrics_equal(engine, fast);
+}
+
+TEST(ChurnService, RepeatRunsAreIdentical) {
+  const auto cell = make_cell(128, api::BackendKind::kAuto);
+  const ChurnSpec spec = make_spec(ChurnProfile::kBursty, 512);
+  expect_metrics_equal(api::run_churn_cell(cell, spec, 11, 1),
+                       api::run_churn_cell(cell, spec, 11, 1));
+}
+
+TEST(ChurnStreamTest, RandomAccessIsPure) {
+  for (const auto profile :
+       {ChurnProfile::kPoisson, ChurnProfile::kBursty,
+        ChurnProfile::kDiurnalRamp}) {
+    const ChurnSpec spec = make_spec(profile, 512);
+    const ChurnStream stream(spec, 256, 42);
+    // Forward sweep, reverse sweep, and re-query all agree.
+    std::vector<std::uint32_t> forward;
+    forward.reserve(spec.horizon_rounds);
+    for (std::uint32_t r = 0; r < spec.horizon_rounds; ++r) {
+      forward.push_back(stream.arrivals_at(r));
+    }
+    for (std::uint32_t r = spec.horizon_rounds; r-- > 0;) {
+      EXPECT_EQ(stream.arrivals_at(r), forward[r]);
+    }
+    // A second stream built from the same triple is the same function.
+    const ChurnStream again(spec, 256, 42);
+    EXPECT_EQ(again.arrivals_at(17), forward[17]);
+    // A different seed is a different stream (overwhelmingly likely that
+    // at least one of 512 counts differs).
+    const ChurnStream other(spec, 256, 43);
+    bool any_differ = false;
+    for (std::uint32_t r = 0; r < spec.horizon_rounds; ++r) {
+      any_differ |= other.arrivals_at(r) != forward[r];
+    }
+    EXPECT_TRUE(any_differ);
+  }
+}
+
+TEST(ChurnStreamTest, BurstRoundsSpike) {
+  ChurnSpec spec = make_spec(ChurnProfile::kBursty, 512);
+  spec.burst_permille = 200;  // mean spike of 51.2 on a base of 2.56
+  const ChurnStream stream(spec, 256, 1);
+  std::uint64_t burst_total = 0;
+  std::uint64_t base_total = 0;
+  std::uint32_t burst_rounds = 0;
+  for (std::uint32_t r = 0; r < spec.horizon_rounds; ++r) {
+    if (r % spec.burst_period == spec.burst_period - 1) {
+      burst_total += stream.arrivals_at(r);
+      ++burst_rounds;
+    } else {
+      base_total += stream.arrivals_at(r);
+    }
+  }
+  ASSERT_GT(burst_rounds, 0u);
+  const double burst_mean =
+      static_cast<double>(burst_total) / burst_rounds;
+  const double base_mean = static_cast<double>(base_total) /
+                           (spec.horizon_rounds - burst_rounds);
+  EXPECT_GT(burst_mean, 10.0 * base_mean);
+}
+
+TEST(ChurnService, LatencySummaryIsConsistent) {
+  const auto cell = make_cell(128, api::BackendKind::kAuto);
+  const ServiceMetrics metrics = api::run_churn_cell(
+      cell, make_spec(ChurnProfile::kPoisson, 512), 1, 1);
+  EXPECT_EQ(metrics.latency.count, metrics.joined);
+  EXPECT_GE(metrics.latency.min, 1.0);
+  EXPECT_LE(metrics.latency.min, metrics.latency.median);
+  EXPECT_LE(metrics.latency.median, metrics.latency.p99);
+  EXPECT_LE(metrics.latency.p99, metrics.latency.max);
+  EXPECT_LE(metrics.latency.max, static_cast<double>(metrics.horizon));
+  EXPECT_GT(metrics.throughput_ratio, 0.8);
+  EXPECT_LT(metrics.throughput_ratio, 1.2);
+}
+
+// ---- Part 3: lease table & sampler units ------------------------------------
+
+TEST(NameLeaseTableTest, AcquireHandsOutSmallestFreeAscending) {
+  NameLeaseTable table(8);
+  EXPECT_EQ(table.acquire(3), (std::vector<std::uint64_t>{1, 2, 3}));
+  table.release(2);
+  // 2 is free again and is the smallest; 4 fills in after it.
+  EXPECT_EQ(table.acquire(2), (std::vector<std::uint64_t>{2, 4}));
+  EXPECT_EQ(table.live(), 4u);
+  EXPECT_EQ(table.free_count(), 4u);
+  EXPECT_EQ(table.max_leased(), 4u);
+  EXPECT_TRUE(table.is_leased(1));
+  EXPECT_FALSE(table.is_leased(5));
+}
+
+TEST(NameLeaseTableTest, GrowAndShrink) {
+  NameLeaseTable table(4);
+  const auto names = table.acquire(3);  // 1,2,3 leased
+  table.grow(16);
+  EXPECT_EQ(table.namespace_size(), 16u);
+  EXPECT_EQ(table.free_count(), 13u);
+  // max_leased() == 3, so shrinking to 2 must refuse and change nothing.
+  EXPECT_FALSE(table.try_shrink(2));
+  EXPECT_EQ(table.namespace_size(), 16u);
+  EXPECT_TRUE(table.try_shrink(4));
+  EXPECT_EQ(table.namespace_size(), 4u);
+  EXPECT_EQ(table.free_count(), 1u);
+  for (const auto name : names) table.release(name);
+  EXPECT_TRUE(table.try_shrink(1));
+  EXPECT_EQ(table.namespace_size(), 1u);
+}
+
+TEST(NameLeaseTableTest, ContractViolations) {
+  NameLeaseTable table(4);
+  EXPECT_THROW((void)table.acquire(5), ContractViolation);
+  EXPECT_THROW(table.release(1), ContractViolation);  // not leased
+  EXPECT_THROW(table.release(9), ContractViolation);  // out of range
+  EXPECT_THROW(table.grow(4), ContractViolation);     // not larger
+  EXPECT_THROW((void)table.try_shrink(4), ContractViolation);  // not smaller
+  EXPECT_THROW(NameLeaseTable(0), ContractViolation);
+}
+
+TEST(PoissonSamplerTest, MatchesMeanForSmallAndChunkedLambda) {
+  for (const double lambda : {0.5, 4.0, 100.0}) {
+    Rng rng(12345);
+    std::uint64_t total = 0;
+    constexpr int kSamples = 4000;
+    for (int i = 0; i < kSamples; ++i) {
+      total += service::sample_poisson(rng, lambda);
+    }
+    const double mean = static_cast<double>(total) / kSamples;
+    EXPECT_NEAR(mean, lambda, 0.1 * lambda + 0.1)
+        << "lambda = " << lambda;
+  }
+  Rng rng(1);
+  EXPECT_EQ(service::sample_poisson(rng, 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace bil

@@ -20,6 +20,8 @@
 #include "api/backend.h"
 #include "api/registry.h"
 #include "api/sweep.h"
+#include "service/churn.h"
+#include "service/service.h"
 #include "sim/trace.h"
 #include "stats/table.h"
 #include "util/contract.h"
@@ -91,6 +93,59 @@ void print_cell_table(const api::SweepResult& result, bool csv) {
   }
 }
 
+void print_churn_cell_table(const api::SweepResult& result, bool csv) {
+  stats::Table table({"algorithm", "n", "profile", "backend", "names/round",
+                      "throughput", "lat p50", "lat p99", "density",
+                      "namespace"});
+  for (const api::CellSummary& cell : result.cells) {
+    const api::ChurnCellSummary& churn = cell.churn;
+    table.add_row({api::algorithm_info(cell.config.algorithm).name,
+                   stats::fmt_int(cell.config.n),
+                   service::to_string(churn.spec.profile),
+                   to_string(cell.backend_used),
+                   stats::fmt_fixed(churn.names_per_round.mean, 1),
+                   stats::fmt_fixed(churn.throughput_ratio.mean, 4),
+                   stats::fmt_fixed(churn.latency_p50.mean, 1),
+                   stats::fmt_fixed(churn.latency_p99.mean, 1),
+                   stats::fmt_fixed(churn.density.mean, 3),
+                   stats::fmt_fixed(churn.namespace_final.mean, 0)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+void print_churn_run_table(const api::CellSummary& cell, bool csv) {
+  stats::Table table({"seed", "arrivals", "joined", "departed", "instances",
+                      "names/round", "throughput", "lat p50", "lat p99",
+                      "density", "namespace"});
+  for (const service::ServiceMetrics& run : cell.churn.runs) {
+    table.add_row({stats::fmt_int(run.seed), stats::fmt_int(run.arrivals),
+                   stats::fmt_int(run.joined), stats::fmt_int(run.departed),
+                   stats::fmt_int(run.instances),
+                   stats::fmt_fixed(run.names_per_round, 1),
+                   stats::fmt_fixed(run.throughput_ratio, 4),
+                   stats::fmt_fixed(run.latency.median, 1),
+                   stats::fmt_fixed(run.latency.p99, 1),
+                   stats::fmt_fixed(run.density_mean, 3),
+                   stats::fmt_int(run.namespace_final)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    const api::ChurnCellSummary& churn = cell.churn;
+    std::cout << "\nthroughput ratio: mean "
+              << stats::fmt_fixed(churn.throughput_ratio.mean, 4)
+              << ", rounds-to-name p99: mean "
+              << stats::fmt_fixed(churn.latency_p99.mean, 1)
+              << ", live-name density: mean "
+              << stats::fmt_fixed(churn.density.mean, 3) << "\n";
+  }
+}
+
 void print_run_table(const api::CellSummary& cell, bool csv) {
   stats::Table table({"seed", "rounds", "crashes", "messages", "bytes"});
   for (const api::RunRecord& record : cell.runs) {
@@ -129,6 +184,14 @@ int main(int argc, char** argv) {
   std::uint32_t horizon = 8;
   std::uint32_t per_round = 2;
   std::string backend = "auto";
+  std::string churn;
+  std::uint32_t churn_rounds = 4096;
+  std::uint32_t churn_arrival_permille = 10;
+  std::uint32_t churn_hold_rounds = 0;
+  std::uint32_t churn_burst_period = 256;
+  std::uint32_t churn_burst_permille = 50;
+  std::uint32_t churn_ramp_period = 2048;
+  bool churn_warm_start = true;
   std::uint32_t threads = 0;
   std::uint32_t engine_threads = 0;
   bool eager_decide = false;
@@ -158,6 +221,27 @@ int main(int argc, char** argv) {
                    "auto|engine|fast-sim (auto: fast single-view simulator "
                    "for large tree cells, crash-free or under a "
                    "schedule-only crash adversary)");
+  flags.add_string("churn", &churn,
+                   "long-lived service mode: poisson|bursty|diurnal churn "
+                   "profile (each seed runs a full RenamingService horizon "
+                   "of overlapping instances with name recycling; requires "
+                   "--adversary=none)");
+  flags.add_uint32("churn-rounds", &churn_rounds,
+                   "service horizon in rounds (--churn)");
+  flags.add_uint32("churn-arrival-permille", &churn_arrival_permille,
+                   "mean arrivals per round, in permille of n (--churn)");
+  flags.add_uint32("churn-hold-rounds", &churn_hold_rounds,
+                   "mean lease length in rounds (0 = auto: steady-state "
+                   "live population = n)");
+  flags.add_uint32("churn-burst-period", &churn_burst_period,
+                   "rounds between arrival spikes (--churn=bursty)");
+  flags.add_uint32("churn-burst-permille", &churn_burst_permille,
+                   "spike size in permille of n (--churn=bursty)");
+  flags.add_uint32("churn-ramp-period", &churn_ramp_period,
+                   "triangle-wave period in rounds (--churn=diurnal)");
+  flags.add_bool("churn-warm-start", &churn_warm_start,
+                 "start with a full steady-state population holding names "
+                 "(--no-churn-warm-start begins empty)");
   flags.add_uint32("threads", &threads,
                    "sweep thread budget: run workers x engine threads "
                    "(0 = all cores)");
@@ -221,6 +305,18 @@ int main(int argc, char** argv) {
     spec.engine_threads = engine_threads;
     spec.termination = eager_decide ? core::TerminationMode::kEagerLeaf
                                     : core::TerminationMode::kGlobal;
+    if (!churn.empty()) {
+      spec.churn.profile = service::parse_churn_profile(churn);
+      BIL_REQUIRE(churn_rounds >= 1, "--churn-rounds must be at least 1");
+      spec.churn.horizon_rounds = churn_rounds;
+      spec.churn.arrival_permille = churn_arrival_permille;
+      spec.churn.hold_rounds = churn_hold_rounds;
+      spec.churn.burst_period = churn_burst_period;
+      spec.churn.burst_permille = churn_burst_permille;
+      spec.churn.ramp_period = churn_ramp_period;
+      spec.churn.warm_start = churn_warm_start;
+      BIL_REQUIRE(!trace, "--trace traces one-shot runs; drop --churn");
+    }
     // Per-seed rows are only printed for single-cell grids; don't retain
     // per-run records (names vectors included) for multi-cell sweeps.
     const bool single_cell =
@@ -236,6 +332,27 @@ int main(int argc, char** argv) {
 
     if (json) {
       result.write_json(std::cout);
+      return 0;
+    }
+    if (spec.churn.enabled()) {
+      if (result.cells.size() == 1) {
+        const api::CellSummary& cell = result.cells.front();
+        if (!csv) {
+          std::cout << api::algorithm_info(cell.config.algorithm).name
+                    << ", n=" << cell.config.n << ", churn="
+                    << service::to_string(spec.churn.profile) << " over "
+                    << spec.churn.horizon_rounds << " rounds, backend="
+                    << to_string(cell.backend_used) << "\n\n";
+        }
+        print_churn_run_table(cell, csv);
+      } else {
+        if (!csv) {
+          std::cout << result.total_runs << " service horizons over "
+                    << result.cells.size() << " grid cells, " << seeds
+                    << " seeds each\n\n";
+        }
+        print_churn_cell_table(result, csv);
+      }
       return 0;
     }
     if (result.cells.size() == 1) {
