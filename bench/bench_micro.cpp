@@ -3,7 +3,9 @@
 //
 // `bench_micro --json` switches to the engine-throughput perf smoke: full
 // engine runs at n ∈ {256, 1024, 4096}, crash-free and under an adversary,
-// reported as rounds/sec and deliveries/sec in machine-readable JSON.
+// reported as rounds/sec and deliveries/sec in machine-readable JSON, plus
+// a `targeted_throughput` series timing the traffic-oracle fast path on
+// targeted-adversary cells at n ∈ {2^14, 2^16}.
 // `bench_micro --json --thread-scaling` instead sweeps the intra-round
 // parallel executor over a threads × n grid (identical seeds at every
 // width — the engine is thread-count-deterministic) and reports rounds/sec
@@ -18,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/backend.h"
 #include "core/fast_sim.h"
 #include "core/messages.h"
 #include "core/policy.h"
@@ -180,6 +183,43 @@ void emit_throughput_row(std::FILE* out, const ThroughputScenario& scenario,
       last ? "" : ",");
 }
 
+/// One row of the `targeted_throughput` series: full FastSimBackend runs of
+/// a targeted-adversary cell (the traffic-oracle path,
+/// core/fast_sim_targeted.h), reported as rounds/sec. perf-smoke uploads
+/// this per push as the regression trail for the oracle fast path — sizes
+/// the engine cannot serve in a smoke budget, so any symbolic-path
+/// slowdown shows here and nowhere else.
+void emit_targeted_row(std::FILE* out, harness::AdversaryKind kind,
+                       const char* name, std::uint32_t n, std::uint32_t runs,
+                       bool last) {
+  const api::FastSimBackend fast;
+  api::CellConfig cell;
+  cell.algorithm = harness::Algorithm::kBallsIntoLeaves;
+  cell.n = n;
+  cell.adversary = harness::AdversarySpec{
+      .kind = kind,
+      .crashes = 64,
+      .per_round = 2,
+      .subset = sim::SubsetPolicy::kAlternating};
+  std::uint64_t rounds = 0;
+  std::uint64_t deliveries = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    const api::RunRecord record = fast.run(cell, 1000 + i);
+    rounds += record.total_rounds;
+    deliveries += record.messages_delivered;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::fprintf(
+      out,
+      "    {\"scenario\":\"%s\",\"n\":%u,\"runs\":%u,\"rounds\":%llu,"
+      "\"deliveries\":%llu,\"seconds\":%.6f,\"rounds_per_sec\":%.1f}%s\n",
+      name, n, runs, static_cast<unsigned long long>(rounds),
+      static_cast<unsigned long long>(deliveries), elapsed.count(),
+      static_cast<double>(rounds) / elapsed.count(), last ? "" : ",");
+}
+
 int run_json_mode() {
   constexpr ThroughputScenario kScenarios[] = {
       {"crash-free", &no_adversary},
@@ -197,6 +237,17 @@ int run_json_mode() {
           s + 1 == std::size(kScenarios) && i + 1 == std::size(kSizes);
       emit_throughput_row(out, kScenarios[s], kSizes[i], kRuns[i], last);
     }
+  }
+  std::fprintf(out, "  ],\n  \"targeted_throughput\": [\n");
+  constexpr std::uint32_t kTargetedSizes[] = {1u << 14, 1u << 16};
+  constexpr std::uint32_t kTargetedRuns[] = {4, 2};
+  for (std::size_t i = 0; i < std::size(kTargetedSizes); ++i) {
+    emit_targeted_row(out, harness::AdversaryKind::kTargetedWinner,
+                      "targeted-winner", kTargetedSizes[i], kTargetedRuns[i],
+                      false);
+    emit_targeted_row(out, harness::AdversaryKind::kTargetedAnnouncer,
+                      "targeted-announcer", kTargetedSizes[i],
+                      kTargetedRuns[i], i + 1 == std::size(kTargetedSizes));
   }
   std::fprintf(out, "  ]\n}\n");
   return 0;

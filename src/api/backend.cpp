@@ -3,6 +3,8 @@
 #include "api/registry.h"
 #include "core/fast_sim.h"
 #include "core/fast_sim_crash.h"
+#include "core/fast_sim_targeted.h"
+#include "tree/shape.h"
 #include "util/contract.h"
 
 namespace bil::api {
@@ -76,11 +78,8 @@ void validate_fast_names(const std::vector<std::uint64_t>& names,
 
 RunRecord FastSimBackend::run(const CellConfig& cell,
                               std::uint64_t seed) const {
-  BIL_REQUIRE(fast_sim_compatible(cell),
-              "FastSimBackend cannot execute this cell exactly (it needs a "
-              "tree-based algorithm, a schedule-only adversary, global "
-              "termination, no round cap and default labelling) — use the "
-              "engine backend");
+  const std::string incompatibility = fast_sim_incompatibility(cell);
+  BIL_REQUIRE(incompatibility.empty(), incompatibility);
   RunRecord record;
   record.seed = seed;
   // Payloads are never materialized on either fast path; byte counts are
@@ -109,16 +108,25 @@ RunRecord FastSimBackend::run(const CellConfig& cell,
 
   // Crash cell: replay the exact adversary object the engine harness would
   // construct for this (spec, n, seed), so victim choices, crash rounds and
-  // delivery-subset coins are bit-identical (core/fast_sim_crash.h).
-  const std::unique_ptr<sim::Adversary> adversary =
-      harness::make_adversary(cell.adversary, cell.n, seed);
+  // delivery-subset coins are bit-identical (core/fast_sim_crash.h). The
+  // protocol-aware targeted kinds additionally need the tree shape their
+  // decode logic measures depths against — TreeShape::make is a pure
+  // function of n, so a fresh shape is the engine's shape — and are driven
+  // through the traffic oracle (core/fast_sim_targeted.h).
+  const bool targeted =
+      cell.adversary.kind == harness::AdversaryKind::kTargetedWinner ||
+      cell.adversary.kind == harness::AdversaryKind::kTargetedAnnouncer;
+  const std::unique_ptr<sim::Adversary> adversary = harness::make_adversary(
+      cell.adversary, cell.n, seed,
+      targeted ? tree::TreeShape::make(cell.n) : nullptr);
   core::CrashFastSimOptions options;
   options.n = cell.n;
   options.seed = seed;
   options.policy = algorithm_info(cell.algorithm).policy;
   options.max_crashes = cell.adversary.crashes;
   const core::CrashFastSimResult result =
-      core::run_fast_sim_crash(options, adversary.get());
+      targeted ? core::run_fast_sim_targeted(options, adversary.get())
+               : core::run_fast_sim_crash(options, adversary.get());
   validate_fast_names(result.names, cell.n, result.crashes);
   record.rounds = result.rounds;
   record.total_rounds = result.total_rounds;
@@ -129,29 +137,53 @@ RunRecord FastSimBackend::run(const CellConfig& cell,
 }
 
 bool fast_sim_compatible(const CellConfig& cell) {
-  return algorithm_info(cell.algorithm).fast_sim_capable &&
-         adversary_info(cell.adversary.kind).fast_sim_capable &&
-         cell.termination == core::TerminationMode::kGlobal &&
-         cell.max_rounds == 0 && cell.label_offset == 0 &&
-         cell.label_stride == 1;
+  return fast_sim_incompatibility(cell).empty();
+}
+
+std::string fast_sim_incompatibility(const CellConfig& cell) {
+  if (!algorithm_info(cell.algorithm).fast_sim_capable) {
+    return "fast-sim cannot execute algorithm '" +
+           algorithm_info(cell.algorithm).name +
+           "' (not tree-based; only the tree-descent algorithms have a "
+           "single-view symbolic execution) — use --backend engine";
+  }
+  if (!adversary_info(cell.adversary.kind).fast_sim_capable) {
+    return "fast-sim cannot replay adversary '" +
+           adversary_info(cell.adversary.kind).name +
+           "' symbolically — use --backend engine";
+  }
+  if (cell.termination != core::TerminationMode::kGlobal) {
+    return "fast-sim requires global termination (the cell selects a "
+           "different termination mode) — use --backend engine";
+  }
+  if (cell.max_rounds != 0) {
+    return "fast-sim requires an uncapped run (the cell sets a round cap) "
+           "— use --backend engine";
+  }
+  if (cell.label_offset != 0 || cell.label_stride != 1) {
+    return "fast-sim requires default labelling (the cell sets a label "
+           "offset/stride) — use --backend engine";
+  }
+  return {};
 }
 
 BackendKind select_backend(const CellConfig& cell) {
   switch (cell.backend) {
     case BackendKind::kEngine:
       return BackendKind::kEngine;
-    case BackendKind::kFastSim:
-      BIL_REQUIRE(fast_sim_compatible(cell),
-                  "cell requests the fast-sim backend but is incompatible "
-                  "with it (tree-based algorithm, schedule-only adversary, "
-                  "global termination, no round cap, default labels "
-                  "required)");
+    case BackendKind::kFastSim: {
+      const std::string incompatibility = fast_sim_incompatibility(cell);
+      BIL_REQUIRE(incompatibility.empty(), incompatibility);
       return BackendKind::kFastSim;
+    }
     case BackendKind::kAuto: {
+      const bool targeted =
+          cell.adversary.kind == harness::AdversaryKind::kTargetedWinner ||
+          cell.adversary.kind == harness::AdversaryKind::kTargetedAnnouncer;
       const std::uint32_t min_n =
           cell.adversary.kind == harness::AdversaryKind::kNone
               ? kAutoFastSimMinN
-              : kAutoFastSimCrashMinN;
+              : (targeted ? kAutoFastSimTargetedMinN : kAutoFastSimCrashMinN);
       return fast_sim_compatible(cell) && cell.n >= min_n
                  ? BackendKind::kFastSim
                  : BackendKind::kEngine;

@@ -4,17 +4,21 @@
 // harness::run_renaming — exact semantics, every adversary, O(n²) messages
 // per round, practical to n ≈ 2¹⁴ since the round-batched delivery fabric
 // (see docs/perf.md; ~2¹¹ before it). FastSimBackend drives the single-view
-// simulators — core::run_fast_sim for crash-free cells and
+// simulators — core::run_fast_sim for crash-free cells,
 // core::run_fast_sim_crash for cells attacked by a schedule-only crash
-// adversary (oblivious/burst/eager/sandwich) — bit-identical to the engine
-// on their shared domain (asserted by tests/fast_sim_test.cpp and
-// tests/fastsim_crash_test.cpp), O(n log n) per phase, practical past
-// n = 2¹⁸. select_backend picks per cell so that large sweeps — including
-// crash-adversary sweeps — transparently take the fast path.
+// adversary (oblivious/burst/eager/sandwich), and
+// core::run_fast_sim_targeted (the traffic-oracle path) for the
+// protocol-aware targeted adversaries — bit-identical to the engine on
+// their shared domain (asserted by tests/fast_sim_test.cpp,
+// tests/fastsim_crash_test.cpp and tests/fastsim_targeted_test.cpp),
+// O(n log n) per phase, practical past n = 2¹⁸. select_backend picks per
+// cell so that large sweeps — including every registered crash adversary —
+// transparently take the fast path.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -82,11 +86,13 @@ class EngineBackend final : public Backend {
 };
 
 /// Single-view fast simulator. Tree-based, default-labelled, globally
-/// terminating, uncapped cells whose adversary (if any) is schedule-only
-/// (the regimes where it is provably exact); fast_sim_compatible tells you
-/// in advance. Crash cells replay the engine's adversary object
-/// bit-for-bit and simulate subset-delivery divergence symbolically
-/// (core/fast_sim_crash.h).
+/// terminating, uncapped cells whose adversary (if any) is symbolically
+/// replayable (the regimes where it is provably exact);
+/// fast_sim_compatible tells you in advance. Crash cells replay the
+/// engine's adversary object bit-for-bit and simulate subset-delivery
+/// divergence symbolically (core/fast_sim_crash.h); the protocol-aware
+/// targeted kinds are driven through synthesized round traffic
+/// (core/fast_sim_targeted.h).
 class FastSimBackend final : public Backend {
  public:
   [[nodiscard]] BackendKind kind() const noexcept override {
@@ -97,10 +103,16 @@ class FastSimBackend final : public Backend {
 };
 
 /// True when FastSimBackend can execute the cell exactly: a tree-based
-/// algorithm, a schedule-only adversary (none, oblivious, burst, eager,
-/// sandwich — adversary_info(kind).fast_sim_capable), global termination,
-/// no round cap, default labelling.
+/// algorithm, a symbolically replayable adversary (every registered kind —
+/// adversary_info(kind).fast_sim_capable), global termination, no round
+/// cap, default labelling.
 [[nodiscard]] bool fast_sim_compatible(const CellConfig& cell);
+
+/// Empty when fast_sim_compatible(cell); otherwise a one-line reason naming
+/// the first incompatible component (algorithm, adversary, termination
+/// mode, round cap, or labelling) — the message an explicit
+/// `--backend fast-sim` request fails with.
+[[nodiscard]] std::string fast_sim_incompatibility(const CellConfig& cell);
 
 /// Crash-free cells at least this large take the fast path under
 /// BackendKind::kAuto (below it the engine is already fast and also
@@ -121,10 +133,22 @@ inline constexpr std::uint32_t kAutoFastSimMinN = 4096;
 /// runs near a minute (measurements in docs/perf.md).
 inline constexpr std::uint32_t kAutoFastSimCrashMinN = 8192;
 
+/// Targeted-adversary cells at least this large take the fast path under
+/// BackendKind::kAuto. Same value as kAutoFastSimCrashMinN today — the
+/// byte-measurement trade-off is identical (subset deliveries bend real
+/// traffic; the oracle path reconstructs counts, never bytes) and the
+/// engine argument is *stronger*: a targeted engine run decodes the whole
+/// round's traffic on top of the O(n²) fabric, so n = 8192 is already the
+/// slowest cell class in the report presets. Kept as a separate knob so
+/// the thresholds can move independently if the trade-offs diverge.
+inline constexpr std::uint32_t kAutoFastSimTargetedMinN = 8192;
+
 /// Resolves a cell's backend request to a concrete kind. kAuto picks
 /// kFastSim for compatible cells at or above the domain's threshold
-/// (kAutoFastSimMinN crash-free, kAutoFastSimCrashMinN under a crash
-/// adversary); explicit kFastSim on an incompatible cell throws.
+/// (kAutoFastSimMinN crash-free, kAutoFastSimCrashMinN under a
+/// schedule-only crash adversary, kAutoFastSimTargetedMinN under a
+/// targeted one); explicit kFastSim on an incompatible cell throws with
+/// fast_sim_incompatibility's diagnostic.
 [[nodiscard]] BackendKind select_backend(const CellConfig& cell);
 
 /// Instantiates a backend of the given concrete kind (kAuto not allowed).

@@ -127,7 +127,9 @@ std::vector<AdversaryInfo> build_adversary_registry() {
        .name = harness::to_string(AdversaryKind::kTargetedWinner),
        .aliases = {"winner"},
        .description = "protocol-aware: crashes the winning ball of the most "
-                      "contended leaf",
+                      "contended leaf (replayed symbolically by the "
+                      "traffic-oracle fast path)",
+       .fast_sim_capable = true,
        .make = [](const AdversaryKnobs& knobs) {
          return AdversarySpec{.kind = AdversaryKind::kTargetedWinner,
                               .crashes = knobs.crashes,
@@ -139,7 +141,9 @@ std::vector<AdversaryInfo> build_adversary_registry() {
        .name = harness::to_string(AdversaryKind::kTargetedAnnouncer),
        .aliases = {"announcer"},
        .description = "protocol-aware: crashes the deepest announcing ball "
-                      "mid-broadcast",
+                      "mid-broadcast (replayed symbolically by the "
+                      "traffic-oracle fast path)",
+       .fast_sim_capable = true,
        .make = [](const AdversaryKnobs& knobs) {
          return AdversarySpec{.kind = AdversaryKind::kTargetedAnnouncer,
                               .crashes = knobs.crashes,

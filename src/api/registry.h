@@ -56,11 +56,13 @@ struct AdversaryInfo {
   std::string name;
   std::vector<std::string> aliases;
   std::string description;
-  /// True for the schedule-only crash strategies (none, oblivious, burst,
-  /// eager, sandwich) that the crash-capable fast simulator can replay
-  /// bit-for-bit through sim::make_schedule_view. The protocol-aware
-  /// targeted adversaries decode candidate paths off the wire and need the
-  /// real engine.
+  /// True when the crash-capable fast simulator can replay this strategy
+  /// bit-for-bit: the schedule-only kinds (none, oblivious, burst, eager,
+  /// sandwich) through sim::make_schedule_view, and the protocol-aware
+  /// targeted kinds through synthesized round traffic
+  /// (core/fast_sim_targeted.h). Every registered kind qualifies today;
+  /// the flag stays so a future adversary that introspects process
+  /// internals can opt out.
   bool fast_sim_capable = false;
   /// Builds a fully-populated spec of this kind from the generic knobs.
   std::function<harness::AdversarySpec(const AdversaryKnobs&)> make;

@@ -137,11 +137,12 @@ tree::NodeId BallsIntoLeavesProcess::choose_target(tree::NodeId current) {
   return tree::kNoNode;
 }
 
-std::vector<sim::Label> BallsIntoLeavesProcess::movement_order() const {
+std::span<const sim::Label> BallsIntoLeavesProcess::movement_order() {
   if (options_.movement_order == MovementOrder::kDepthThenLabel) {
     return view_.ordered_balls();
   }
-  return view_.balls();  // ablation: label order, see MovementOrder
+  ablation_order_ = view_.balls();  // ablation: label order, see MovementOrder
+  return ablation_order_;
 }
 
 void BallsIntoLeavesProcess::process_init(

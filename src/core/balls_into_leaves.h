@@ -139,7 +139,10 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
 
  private:
   [[nodiscard]] tree::NodeId choose_target(tree::NodeId current);
-  [[nodiscard]] std::vector<sim::Label> movement_order() const;
+  /// The round's ball-processing order. Aliases view scratch (<R order) or
+  /// ablation_order_ (label-order ablation); valid until the next call,
+  /// across the movement mutations the processing loops perform.
+  [[nodiscard]] std::span<const sim::Label> movement_order();
   void process_init(std::span<const sim::Envelope> inbox);
   void process_round1(std::span<const sim::Envelope> inbox);
   void process_round2(std::span<const sim::Envelope> inbox);
@@ -153,6 +156,8 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
   /// 1-based phase counter; 0 until the init round completes.
   std::uint32_t phase_ = 0;
   std::uint64_t divergence_repairs_ = 0;
+  /// movement_order scratch for the label-order ablation.
+  std::vector<sim::Label> ablation_order_;
 };
 
 }  // namespace bil::core

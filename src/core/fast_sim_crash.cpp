@@ -60,9 +60,11 @@ class GhostedView {
 
 class CrashFastSim {
  public:
-  CrashFastSim(const CrashFastSimOptions& options, sim::Adversary* adversary)
+  CrashFastSim(const CrashFastSimOptions& options, sim::Adversary* adversary,
+               AdversaryViewOracle* oracle)
       : options_(options),
         adversary_(adversary),
+        oracle_(oracle),
         shape_(tree::TreeShape::make(options.n)),
         view_(shape_),
         status_(options.n, Status::kAlive),
@@ -126,12 +128,17 @@ class CrashFastSim {
     }
 
     // ---- Adversary phase: identical observation point to the engine —
-    // after sends, before delivery — against the same alive list.
+    // after sends, before delivery — against the same alive list. With an
+    // oracle, the adversary additionally sees this round's synthesized
+    // traffic (every alive ball's own-view position is view_.current and
+    // its candidate target is targets_, both exact at this point).
     sim::CrashPlan plan;
     if (adversary_ != nullptr) {
-      const sim::RoundView view = sim::make_schedule_view(
-          round, options_.n, alive_,
-          options_.max_crashes - crashes_so_far_);
+      const std::uint32_t budget = options_.max_crashes - crashes_so_far_;
+      const sim::RoundView view =
+          oracle_ != nullptr
+              ? oracle_->round_view(round, alive_, budget, view_, targets_)
+              : sim::make_schedule_view(round, options_.n, alive_, budget);
       adversary_->schedule(view, plan);
     }
     std::vector<char> crashed_this_round(options_.n, 0);
@@ -420,6 +427,7 @@ class CrashFastSim {
 
   CrashFastSimOptions options_;
   sim::Adversary* adversary_;
+  AdversaryViewOracle* oracle_;
   std::shared_ptr<const tree::TreeShape> shape_;
   tree::LocalTreeView view_;
   std::vector<Status> status_;
@@ -440,11 +448,12 @@ class CrashFastSim {
 }  // namespace
 
 CrashFastSimResult run_fast_sim_crash(const CrashFastSimOptions& options,
-                                      sim::Adversary* adversary) {
+                                      sim::Adversary* adversary,
+                                      AdversaryViewOracle* oracle) {
   BIL_REQUIRE(options.n >= 1, "need at least one ball");
   BIL_REQUIRE(options.max_crashes < options.n,
               "crash budget t must satisfy t < n");
-  return CrashFastSim(options, adversary).run();
+  return CrashFastSim(options, adversary, oracle).run();
 }
 
 }  // namespace bil::core

@@ -107,8 +107,9 @@ std::unique_ptr<sim::Adversary> make_adversary(
                                             .per_round = spec.per_round,
                                             .subset_policy = spec.subset},
           seed);
-    // Protocol-aware kinds below read process state / outboxes — engine
-    // only (not drivable through sim::make_schedule_view).
+    // Protocol-aware kinds below read outboxes — not drivable through
+    // sim::make_schedule_view; the fast path feeds them synthesized round
+    // traffic instead (core/fast_sim_targeted.h).
     case AdversaryKind::kTargetedWinner:
     case AdversaryKind::kTargetedAnnouncer: {
       BIL_REQUIRE(shape != nullptr,

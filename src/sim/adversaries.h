@@ -13,8 +13,11 @@
 // them drivable through sim::make_schedule_view (adversary.h), which is how
 // the crash-capable fast simulator replays the exact engine crash schedule
 // (victims, rounds, delivery subsets, RNG stream) without an engine. Keep
-// it that way: a strategy that starts reading outboxes must move out of the
-// schedule-only set (api::AdversaryInfo::fast_sim_capable).
+// it that way: a strategy that starts reading outboxes leaves the
+// schedule-only set and must instead be driven through synthesized traffic
+// (sim/oracle_view.h), as the targeted adversaries are — an adversary that
+// introspects process() internals has no symbolic replay at all and must
+// clear api::AdversaryInfo::fast_sim_capable.
 #pragma once
 
 #include <cstdint>

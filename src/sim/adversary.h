@@ -88,8 +88,9 @@ class RoundView {
 /// their RNG streams, which make_delivery_subset consumes per alive id)
 /// bit-for-bit without materializing processes or traffic. Protocol-aware
 /// adversaries (core::TargetedCollisionAdversary) decode candidate paths via
-/// process()/outgoing(), which throw on a schedule-only view — they need
-/// the real engine.
+/// outgoing(), which throws on a schedule-only view — the fast simulator
+/// drives those through synthesized round traffic instead
+/// (sim/oracle_view.h, fed by core/fast_sim_targeted.h).
 [[nodiscard]] inline RoundView make_schedule_view(
     RoundNumber round, std::uint32_t num_processes,
     std::span<const ProcessId> alive,

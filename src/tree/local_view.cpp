@@ -6,6 +6,31 @@
 
 namespace bil::tree {
 
+namespace {
+
+/// Index of the first element in data[0..n) not less than `value` —
+/// std::lower_bound's contract over a flat array, but with a branchless
+/// inner loop (the halving step conditionally advances the base pointer;
+/// compilers emit a conditional move, not a branch). slow_index_of runs
+/// this once per registry lookup in every *gapped* view — the label set of
+/// every view that missed an init-round crash victim's broadcast, i.e.
+/// Θ(n²) lookups per round for the rest of an adversarial run — where a
+/// mispredicting branchy search is pure overhead on top of the arithmetic
+/// slot math.
+[[nodiscard]] std::size_t lower_bound_index(const Label* data, std::size_t n,
+                                            Label value) {
+  const Label* base = data;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base += (base[half - 1] < value) ? half : 0;
+    n -= half;
+  }
+  const std::size_t below = (n == 1 && *base < value) ? 1 : 0;
+  return static_cast<std::size_t>(base - data) + below;
+}
+
+}  // namespace
+
 LocalTreeView::LocalTreeView(std::shared_ptr<const TreeShape> shape)
     : shape_(std::move(shape)) {
   BIL_REQUIRE(shape_ != nullptr, "LocalTreeView needs a shape");
@@ -22,10 +47,8 @@ std::size_t LocalTreeView::slow_index_of(Label ball) const {
     if (ball >= dense_base_) {
       const Label offset = ball - dense_base_;
       if (offset < labels_.size() + gaps_.size()) {
-        const auto gap_it =
-            std::lower_bound(gaps_.begin(), gaps_.end(), ball);
-        const auto gaps_below =
-            static_cast<std::size_t>(gap_it - gaps_.begin());
+        const std::size_t gaps_below =
+            lower_bound_index(gaps_.data(), gaps_.size(), ball);
         const auto slot = static_cast<std::size_t>(offset) - gaps_below;
         if (slot < labels_.size() && labels_[slot] == ball) {
           return slot;
@@ -49,10 +72,11 @@ std::size_t LocalTreeView::slow_index_of(Label ball) const {
     }
     BIL_REQUIRE(false, "ball " + std::to_string(ball) + " is not registered");
   }
-  const auto it = std::lower_bound(labels_.begin(), labels_.end(), ball);
-  BIL_REQUIRE(it != labels_.end() && *it == ball,
+  const std::size_t slot =
+      lower_bound_index(labels_.data(), labels_.size(), ball);
+  BIL_REQUIRE(slot < labels_.size() && labels_[slot] == ball,
               "ball " + std::to_string(ball) + " is not registered");
-  return static_cast<std::size_t>(it - labels_.begin());
+  return slot;
 }
 
 void LocalTreeView::recompute_density() {
@@ -212,33 +236,40 @@ void LocalTreeView::reposition(Label ball, NodeId node) {
   node_of_[slot] = node;
 }
 
-std::vector<Label> LocalTreeView::ordered_balls() const {
+std::span<const Label> LocalTreeView::ordered_balls() const {
   // Definition 1 (<R): deeper balls first; ties by smaller label. Depths
   // are bounded by the tree height, and iterating slots in ascending label
   // order keeps each depth bucket label-sorted — a two-pass counting sort
-  // (O(n + height)) yields exactly the order the comparison sort produced,
-  // and this runs twice per recipient per round.
+  // (O(n + height)) yields exactly the order a comparison sort would, and
+  // this runs twice per recipient per round, so both passes sweep the flat
+  // parallel slot arrays uniformly with no per-call allocation: tombstoned
+  // slots sort under a discard key past every real depth (landing in the
+  // trailing region the returned span excludes) instead of branching the
+  // loop on liveness. Sort key is height − depth so "deeper first" is an
+  // ascending counting sort.
   const std::uint32_t height = shape_->height();
-  std::vector<std::uint32_t> bucket_start(height + 2, 0);
-  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
-    if (node_of_[slot] != kNoNode) {
-      ++bucket_start[shape_->depth(node_of_[slot])];
-    }
+  const std::uint32_t dead_key = height + 1;
+  order_bucket_scratch_.assign(height + 2, 0);
+  std::uint32_t* const buckets = order_bucket_scratch_.data();
+  const std::size_t slots = labels_.size();
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const NodeId node = node_of_[slot];
+    ++buckets[node == kNoNode ? dead_key : height - shape_->depth(node)];
   }
-  // Deepest bucket first: suffix-sum the counts into start offsets.
   std::uint32_t offset = 0;
-  for (std::uint32_t depth = height + 1; depth-- > 0;) {
-    const std::uint32_t count = bucket_start[depth];
-    bucket_start[depth] = offset;
+  for (std::uint32_t key = 0; key <= dead_key; ++key) {
+    const std::uint32_t count = buckets[key];
+    buckets[key] = offset;
     offset += count;
   }
-  std::vector<Label> order(alive_count_);
-  for (std::size_t slot = 0; slot < labels_.size(); ++slot) {
-    if (node_of_[slot] != kNoNode) {
-      order[bucket_start[shape_->depth(node_of_[slot])]++] = labels_[slot];
-    }
+  order_scratch_.resize(slots);
+  Label* const order = order_scratch_.data();
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const NodeId node = node_of_[slot];
+    order[buckets[node == kNoNode ? dead_key : height - shape_->depth(node)]++] =
+        labels_[slot];
   }
-  return order;
+  return {order, alive_count_};
 }
 
 bool LocalTreeView::all_at_leaves() const {

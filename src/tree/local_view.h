@@ -106,8 +106,13 @@ class LocalTreeView {
   // ---- Priority order and termination ------------------------------------
 
   /// All alive balls in <R order (Definition 1): deeper balls first, ties
-  /// broken by smaller label.
-  [[nodiscard]] std::vector<Label> ordered_balls() const;
+  /// broken by smaller label. The span aliases reused per-view scratch
+  /// (this is the hottest call in the engine's per-recipient simulation —
+  /// twice per recipient per round — so it must not allocate): it is
+  /// invalidated by the next ordered_balls() call on this view, but stays
+  /// valid across movement mutations (remove/reposition/descend_toward),
+  /// which is exactly the iterate-while-moving pattern every caller uses.
+  [[nodiscard]] std::span<const Label> ordered_balls() const;
 
   /// True iff every ball in the view sits at a leaf (Algorithm 1 line 29).
   [[nodiscard]] bool all_at_leaves() const;
@@ -170,6 +175,12 @@ class LocalTreeView {
   Label dense_stride_ = 0;
   /// Missing labels inside [dense_base_, labels_.back()], ascending.
   std::vector<Label> gaps_;
+  /// ordered_balls scratch, reused across calls (mutable: the order is a
+  /// pure function of the registry, rebuilding it does not change
+  /// observable view state). bucket scratch holds one counting-sort cursor
+  /// per sort key; order scratch holds one slot per registry entry.
+  mutable std::vector<std::uint32_t> order_bucket_scratch_;
+  mutable std::vector<Label> order_scratch_;
 };
 
 }  // namespace bil::tree

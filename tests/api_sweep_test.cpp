@@ -170,9 +170,13 @@ TEST(Sweep, AutoPicksEngineForSmallOrAdversarialCells) {
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
   cell.n = api::kAutoFastSimCrashMinN;
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
-  // Protocol-aware adversaries read the wire: engine only, at any size.
+  // Protocol-aware targeted adversaries ride the traffic-oracle fast path
+  // behind their own threshold.
   cell.adversary.kind = AdversaryKind::kTargetedWinner;
+  cell.n = api::kAutoFastSimTargetedMinN - 1;
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
+  cell.n = api::kAutoFastSimTargetedMinN;
+  EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
   cell.adversary.kind = AdversaryKind::kNone;
   cell.algorithm = Algorithm::kGossip;  // not tree-based: engine only
   cell.n = api::kAutoFastSimMinN;
@@ -185,16 +189,50 @@ TEST(Sweep, ExplicitFastSimOnIncompatibleCellThrows) {
   spec.backend = api::BackendKind::kFastSim;
   EXPECT_THROW((void)api::SweepRunner(spec), ContractViolation);
 
-  // Schedule-only crash adversaries are *in* the fast domain now; the
-  // protocol-aware targeted ones (which decode outboxes) are not.
+  // Every registered crash adversary is in the fast domain now — the
+  // schedule-only kinds via schedule replay, the targeted kinds via the
+  // traffic oracle.
   spec.algorithms = {Algorithm::kBallsIntoLeaves};
   spec.adversaries = {harness::AdversarySpec{
       .kind = AdversaryKind::kTargetedWinner, .crashes = 2, .per_round = 1}};
-  EXPECT_THROW((void)api::SweepRunner(spec), ContractViolation);
+  EXPECT_NO_THROW((void)api::SweepRunner(spec));
 
   spec.adversaries = {harness::AdversarySpec{
       .kind = AdversaryKind::kBurst, .crashes = 2, .when = 1}};
   EXPECT_NO_THROW((void)api::SweepRunner(spec));
+}
+
+TEST(Sweep, ExplicitFastSimFailsFastWithActionableDiagnostic) {
+  // An explicit --backend fast-sim request on an incompatible cell must
+  // fail in select_backend with a one-line message naming the incompatible
+  // component, not deep inside a run.
+  api::CellConfig cell;
+  cell.algorithm = Algorithm::kGossip;
+  cell.backend = api::BackendKind::kFastSim;
+  try {
+    (void)api::select_backend(cell);
+    FAIL() << "gossip cell must be rejected";
+  } catch (const ContractViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("gossip"), std::string::npos) << what;
+    EXPECT_NE(what.find("not tree-based"), std::string::npos) << what;
+    EXPECT_NE(what.find("engine"), std::string::npos) << what;
+  }
+
+  cell.algorithm = Algorithm::kBallsIntoLeaves;
+  cell.max_rounds = 8;
+  try {
+    (void)api::select_backend(cell);
+    FAIL() << "round-capped cell must be rejected";
+  } catch (const ContractViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("round cap"), std::string::npos) << what;
+  }
+  cell.max_rounds = 0;
+  EXPECT_TRUE(api::fast_sim_incompatibility(cell).empty());
+  cell.label_stride = 2;
+  EXPECT_NE(api::fast_sim_incompatibility(cell).find("labelling"),
+            std::string::npos);
 }
 
 TEST(Sweep, SeedModesAssignSeedsAsDocumented) {

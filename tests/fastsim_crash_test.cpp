@@ -239,13 +239,21 @@ TEST(FastSimCrash, AutoRoutesLargeCrashCellsToTheFastPath) {
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
 }
 
-TEST(FastSimCrash, TargetedAdversariesStayOnTheEngine) {
+TEST(FastSimCrash, TargetedAdversariesRideTheTrafficOraclePath) {
+  // The protocol-aware targeted kinds joined the fast domain (traffic
+  // oracle, core/fast_sim_targeted.h) behind their own auto threshold;
+  // only non-tree algorithms remain engine-bound for crash cells.
   AdversarySpec spec;
   spec.kind = AdversaryKind::kTargetedWinner;
   spec.crashes = 8;
   api::CellConfig cell = cell_for(Algorithm::kBallsIntoLeaves, 1u << 15, spec);
-  EXPECT_FALSE(api::fast_sim_compatible(cell));
+  EXPECT_TRUE(api::fast_sim_compatible(cell));
+  EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
+  cell.n = api::kAutoFastSimTargetedMinN - 1;
   EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
+  cell.algorithm = Algorithm::kGossip;
+  cell.n = 1u << 15;
+  EXPECT_FALSE(api::fast_sim_compatible(cell));
   cell.backend = api::BackendKind::kFastSim;
   EXPECT_THROW((void)api::select_backend(cell), ContractViolation);
 }

@@ -1,0 +1,183 @@
+// Cross-validation suite for the traffic-oracle fast path
+// (core/fast_sim_targeted.h through api::FastSimBackend): for every tree
+// algorithm × targeted adversary mode × subset policy on a shared grid, the
+// synthesized-traffic replay must reproduce the engine's run *exactly* —
+// rounds, total rounds, committed crash count, the full decided-name
+// vector, and the delivery count.
+//
+// This is the executable form of the bit-identity argument in
+// core/fast_sim_targeted.h: the adversary decodes candidate-path and
+// position traffic off the synthesized wire, so if any reconstructed field
+// (a ball's own-view position, its candidate target, the outbox iteration
+// order, or the RNG stream feeding subset draws) differed from the engine's,
+// victim selection would diverge and some cell here would catch it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/backend.h"
+#include "util/contract.h"
+
+namespace bil {
+namespace {
+
+using harness::Algorithm;
+using harness::AdversaryKind;
+using harness::AdversarySpec;
+
+constexpr Algorithm kTreeAlgorithms[] = {
+    Algorithm::kBallsIntoLeaves,
+    Algorithm::kEarlyTerminating,
+    Algorithm::kRankDescent,
+    Algorithm::kHalving,
+};
+
+constexpr AdversaryKind kTargetedKinds[] = {
+    AdversaryKind::kTargetedWinner,
+    AdversaryKind::kTargetedAnnouncer,
+};
+
+std::string describe(const api::CellConfig& cell, std::uint64_t seed) {
+  std::string text = harness::to_string(cell.algorithm);
+  text += " / ";
+  text += harness::to_string(cell.adversary.kind);
+  text += " (t=" + std::to_string(cell.adversary.crashes);
+  text += ", per_round=" + std::to_string(cell.adversary.per_round);
+  text += ", subset=" +
+          std::to_string(static_cast<int>(cell.adversary.subset));
+  text += ") / n=" + std::to_string(cell.n);
+  text += " / seed=" + std::to_string(seed);
+  return text;
+}
+
+void expect_backends_match(const api::CellConfig& cell, std::uint64_t seed) {
+  const api::EngineBackend engine;
+  const api::FastSimBackend fast;
+  const api::RunRecord expected = engine.run(cell, seed);
+  const api::RunRecord observed = fast.run(cell, seed);
+  const std::string what = describe(cell, seed);
+  EXPECT_EQ(observed.rounds, expected.rounds) << what;
+  EXPECT_EQ(observed.total_rounds, expected.total_rounds) << what;
+  EXPECT_EQ(observed.crashes, expected.crashes) << what;
+  EXPECT_EQ(observed.messages_delivered, expected.messages_delivered) << what;
+  ASSERT_EQ(observed.names.size(), expected.names.size()) << what;
+  for (std::size_t i = 0; i < expected.names.size(); ++i) {
+    ASSERT_EQ(observed.names[i], expected.names[i])
+        << what << " — ball " << i << " diverged";
+  }
+  // The oracle synthesizes traffic for the adversary's decode loop only;
+  // deliveries are never materialized, so byte counts stay unmeasured.
+  EXPECT_TRUE(expected.bytes_measured);
+  EXPECT_FALSE(observed.bytes_measured);
+}
+
+api::CellConfig cell_for(Algorithm algorithm, std::uint32_t n,
+                         AdversarySpec adversary) {
+  api::CellConfig cell;
+  cell.algorithm = algorithm;
+  cell.n = n;
+  cell.adversary = adversary;
+  return cell;
+}
+
+// ---- The full shared-domain grid: both modes, every subset policy ----------
+
+TEST(FastSimTargeted, MatchesEngineEverySubsetPolicy) {
+  // kContendedWinner fires on path rounds (delivery classes),
+  // kDeepestAnnouncer on position rounds (ghost entries) — together they
+  // exercise both halves of the divergence machinery under adaptively
+  // chosen victims.
+  for (Algorithm algorithm : kTreeAlgorithms) {
+    for (AdversaryKind kind : kTargetedKinds) {
+      for (std::uint32_t n : {5u, 16u, 48u, 129u}) {
+        for (sim::SubsetPolicy subset :
+             {sim::SubsetPolicy::kSilent, sim::SubsetPolicy::kAlternating,
+              sim::SubsetPolicy::kRandomHalf, sim::SubsetPolicy::kAll}) {
+          for (std::uint64_t seed : {1ULL, 9001ULL}) {
+            AdversarySpec spec;
+            spec.kind = kind;
+            spec.crashes = n / 4;
+            spec.per_round = 2;
+            spec.subset = subset;
+            expect_backends_match(cell_for(algorithm, n, spec), seed);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FastSimTargeted, MatchesEngineSingleVictimRounds) {
+  // per_round=1 takes the other branch of the winner's group-sort logic
+  // (a lone victim per round, no same-round subset interactions).
+  for (AdversaryKind kind : kTargetedKinds) {
+    for (std::uint32_t n : {16u, 48u, 129u}) {
+      AdversarySpec spec;
+      spec.kind = kind;
+      spec.crashes = n / 2;
+      spec.per_round = 1;
+      spec.subset = sim::SubsetPolicy::kRandomHalf;
+      expect_backends_match(cell_for(Algorithm::kBallsIntoLeaves, n, spec), 3);
+    }
+  }
+}
+
+// ---- The n = 2^12 anchor of the shared-domain grid -------------------------
+
+TEST(FastSimTargeted, MatchesEngineAtFourThousandBalls) {
+  // Top of the cross-validation grid, one cell per mode (larger n is
+  // fast-sim-only territory).
+  const std::uint32_t n = 1u << 12;
+  for (AdversaryKind kind : kTargetedKinds) {
+    AdversarySpec spec;
+    spec.kind = kind;
+    spec.crashes = 64;
+    spec.per_round = 2;
+    spec.subset = sim::SubsetPolicy::kAlternating;
+    expect_backends_match(cell_for(Algorithm::kBallsIntoLeaves, n, spec), 5);
+  }
+}
+
+// ---- Backend routing --------------------------------------------------------
+
+TEST(FastSimTargeted, AutoRoutesLargeTargetedCellsToTheFastPath) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kTargetedAnnouncer;
+  spec.crashes = 8;
+  api::CellConfig cell = cell_for(Algorithm::kBallsIntoLeaves,
+                                  api::kAutoFastSimTargetedMinN, spec);
+  EXPECT_TRUE(api::fast_sim_compatible(cell));
+  EXPECT_EQ(api::select_backend(cell), api::BackendKind::kFastSim);
+  cell.n = api::kAutoFastSimTargetedMinN - 1;
+  EXPECT_EQ(api::select_backend(cell), api::BackendKind::kEngine);
+}
+
+// ---- Fast-only scale smoke --------------------------------------------------
+
+TEST(FastSimTargeted, TargetedCellsScaleBeyondTheEngine) {
+  // No engine reference here (that is the point): the oracle path must stay
+  // valid — complete, tight surviving namespace, budget-bounded crashes —
+  // at sizes where an engine run under a targeted adversary takes minutes.
+  const std::uint32_t n = 1u << 16;
+  const api::FastSimBackend fast;
+  for (AdversaryKind kind : kTargetedKinds) {
+    AdversarySpec spec;
+    spec.kind = kind;
+    spec.crashes = 64;
+    spec.per_round = 2;
+    spec.subset = sim::SubsetPolicy::kAlternating;
+    const api::RunRecord record =
+        fast.run(cell_for(Algorithm::kBallsIntoLeaves, n, spec), 1);
+    EXPECT_LE(record.crashes, 64u);
+    std::uint32_t named = 0;
+    for (std::uint64_t name : record.names) {
+      named += name != 0 ? 1 : 0;
+    }
+    EXPECT_EQ(named, n - record.crashes);
+  }
+}
+
+}  // namespace
+}  // namespace bil

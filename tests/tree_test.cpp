@@ -229,8 +229,15 @@ TEST(View, OrderedBallsFollowsPriorityOrder) {
   view.reposition(40, shape->leaf_at(0));                  // depth 3
   view.reposition(30, shape->left(TreeShape::root()));     // depth 1
   // Depth desc, then label asc: 40 (3), 30 (1), 10 and 20 (0).
-  EXPECT_EQ(view.ordered_balls(),
+  const std::span<const sim::Label> order = view.ordered_balls();
+  EXPECT_EQ(std::vector<sim::Label>(order.begin(), order.end()),
             (std::vector<sim::Label>{40, 30, 10, 20}));
+  // Tombstoned slots must vanish from the order, not surface as stale
+  // labels from the reused scratch.
+  view.remove(30);
+  const std::span<const sim::Label> after = view.ordered_balls();
+  EXPECT_EQ(std::vector<sim::Label>(after.begin(), after.end()),
+            (std::vector<sim::Label>{40, 10, 20}));
 }
 
 TEST(View, AllAtLeaves) {
