@@ -148,8 +148,14 @@ std::string fast_sim_incompatibility(const CellConfig& cell) {
            "single-view symbolic execution) — use --backend engine";
   }
   if (!adversary_info(cell.adversary.kind).fast_sim_capable) {
-    return "fast-sim cannot replay adversary '" +
-           adversary_info(cell.adversary.kind).name +
+    const AdversaryInfo& info = adversary_info(cell.adversary.kind);
+    if (info.fault_model == "byzantine") {
+      return "fast-sim cannot replay adversary '" + info.name +
+             "': Byzantine corruption rewrites materialized per-recipient "
+             "wire traffic, which the single-view symbolic execution has no "
+             "representation for — use --backend engine";
+    }
+    return "fast-sim cannot replay adversary '" + info.name +
            "' symbolically — use --backend engine";
   }
   if (cell.termination != core::TerminationMode::kGlobal) {

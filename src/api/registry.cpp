@@ -150,6 +150,49 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                               .per_round = knobs.per_round,
                               .subset = knobs.subset};
        }});
+  // Byzantine wire-corruption kinds. fast_sim_capable is false for all
+  // three: the fast path simulates one shared view, while these strategies
+  // are *defined* by per-recipient wire rewrites (see api/registry.h).
+  entries.push_back(
+      {.kind = AdversaryKind::kByzantineBitFlip,
+       .name = harness::to_string(AdversaryKind::kByzantineBitFlip),
+       .aliases = {"bitflip"},
+       .description = "f senders' payloads garbled on the wire (bit flips / "
+                      "truncation); undecodable traffic must read as silence",
+       .fault_model = "byzantine",
+       .fast_sim_capable = false,
+       .make = [](const AdversaryKnobs& knobs) {
+         return AdversarySpec{.kind = AdversaryKind::kByzantineBitFlip,
+                              .byzantine = knobs.byzantine,
+                              .byzantine_rounds = knobs.byzantine_rounds};
+       }});
+  entries.push_back(
+      {.kind = AdversaryKind::kByzantineLiar,
+       .name = harness::to_string(AdversaryKind::kByzantineLiar),
+       .aliases = {"liar"},
+       .description = "f senders each broadcast one stable forged leaf claim "
+                      "(phantom occupancy, undetectable by construction)",
+       .fault_model = "byzantine",
+       .fast_sim_capable = false,
+       .make = [](const AdversaryKnobs& knobs) {
+         return AdversarySpec{.kind = AdversaryKind::kByzantineLiar,
+                              .byzantine = knobs.byzantine,
+                              .byzantine_rounds = knobs.byzantine_rounds};
+       }});
+  entries.push_back(
+      {.kind = AdversaryKind::kByzantineEquivocator,
+       .name = harness::to_string(AdversaryKind::kByzantineEquivocator),
+       .aliases = {"equivocator"},
+       .description = "f senders tell each recipient a different forged path "
+                      "claim; cap with --byzantine-rounds (unbounded "
+                      "equivocation defers termination indefinitely)",
+       .fault_model = "byzantine",
+       .fast_sim_capable = false,
+       .make = [](const AdversaryKnobs& knobs) {
+         return AdversarySpec{.kind = AdversaryKind::kByzantineEquivocator,
+                              .byzantine = knobs.byzantine,
+                              .byzantine_rounds = knobs.byzantine_rounds};
+       }});
   return entries;
 }
 

@@ -33,6 +33,10 @@ struct AdversaryKnobs {
   /// Victims per firing round (sandwich/eager/targeted).
   std::uint32_t per_round = 1;
   sim::SubsetPolicy subset = sim::SubsetPolicy::kRandomHalf;
+  /// Byzantine budget f (wire-corrupting senders; byzantine-* kinds only).
+  std::uint32_t byzantine = 0;
+  /// Corrupting-round window for the byzantine kinds; 0 = unbounded.
+  sim::RoundNumber byzantine_rounds = 0;
 };
 
 struct AlgorithmInfo {
@@ -56,13 +60,20 @@ struct AdversaryInfo {
   std::string name;
   std::vector<std::string> aliases;
   std::string description;
+  /// Which fault model the strategy exercises: "crash" (processes stop;
+  /// every message sent is genuine) or "byzantine" (faulty senders' wire
+  /// traffic is rewritten per recipient — garbled, forged, or equivocated —
+  /// while the engine still authenticates Envelope::from). Groups the
+  /// --list-adversaries output and tags JSON results.
+  std::string fault_model = "crash";
   /// True when the crash-capable fast simulator can replay this strategy
   /// bit-for-bit: the schedule-only kinds (none, oblivious, burst, eager,
   /// sandwich) through sim::make_schedule_view, and the protocol-aware
   /// targeted kinds through synthesized round traffic
-  /// (core/fast_sim_targeted.h). Every registered kind qualifies today;
-  /// the flag stays so a future adversary that introspects process
-  /// internals can opt out.
+  /// (core/fast_sim_targeted.h). The byzantine kinds opt out: corruption
+  /// rewrites materialized per-recipient wire traffic, which the
+  /// single-view simulator has no representation for — they need the full
+  /// engine (`--backend engine`).
   bool fast_sim_capable = false;
   /// Builds a fully-populated spec of this kind from the generic knobs.
   std::function<harness::AdversarySpec(const AdversaryKnobs&)> make;

@@ -105,9 +105,13 @@ void write_cell(std::ostream& os, const CellSummary& cell) {
   os << "{\"algorithm\":\"" << algorithm_info(cell.config.algorithm).name
      << "\",\"n\":" << cell.config.n << ",\"adversary\":{\"kind\":\""
      << adversary_info(adversary.kind).name
+     << "\",\"fault_model\":\"" << adversary_info(adversary.kind).fault_model
      << "\",\"crashes\":" << adversary.crashes << ",\"when\":" << adversary.when
      << ",\"horizon\":" << adversary.horizon
-     << ",\"per_round\":" << adversary.per_round << "},\"termination\":\""
+     << ",\"per_round\":" << adversary.per_round
+     << ",\"byzantine\":" << adversary.byzantine
+     << ",\"byzantine_rounds\":" << adversary.byzantine_rounds
+     << "},\"termination\":\""
      << core::to_string(cell.config.termination) << "\",\"backend\":\""
      << to_string(cell.backend_used) << "\",\"metrics\":{\"rounds\":";
   write_summary(os, cell.rounds);

@@ -39,6 +39,43 @@ LabelIndex<T> index_by_label(std::span<const sim::Envelope> inbox) {
   }
   return by_label;
 }
+
+/// A decoded message together with its engine-authenticated sender id —
+/// the input the Byzantine validation layer needs: under wire-level faults
+/// a label no longer identifies a sender (anyone can *claim* a label), but
+/// Envelope::from cannot be forged.
+template <typename T>
+struct Attributed {
+  T msg;
+  sim::ProcessId from = sim::kNoProcess;
+};
+
+/// Byzantine-mode sibling of index_by_label: keeps *every* message per
+/// label, with provenance, instead of first-wins — a forged message from a
+/// low sender id must not shadow the honest ball's real one. Still a pure
+/// function of the inbox span, so sim::round_index can memoize it (the
+/// distinct result type gets its own memo slot). Only built when
+/// tolerate_byzantine is set; crash-only runs never instantiate it.
+template <typename T>
+using AttributedIndex = LabelIndex<std::vector<Attributed<T>>>;
+
+template <typename T>
+AttributedIndex<T> index_all_by_label(std::span<const sim::Envelope> inbox) {
+  AttributedIndex<T> by_label;
+  by_label.reserve(inbox.size());
+  Message scratch;
+  for (const sim::Envelope& envelope : inbox) {
+    const Message* message =
+        sim::decode_cached(envelope, scratch, &decode_message);
+    if (message == nullptr) {
+      continue;  // malformed — the sender looks silent
+    }
+    if (const T* msg = std::get_if<T>(message)) {
+      by_label[msg->label].push_back(Attributed<T>{*msg, envelope.from});
+    }
+  }
+  return by_label;
+}
 }  // namespace
 
 const char* to_string(TerminationMode mode) noexcept {
@@ -147,6 +184,10 @@ std::span<const sim::Label> BallsIntoLeavesProcess::movement_order() {
 
 void BallsIntoLeavesProcess::process_init(
     std::span<const sim::Envelope> inbox) {
+  if (options_.tolerate_byzantine) {
+    process_init_tolerant(inbox);
+    return;
+  }
   const auto collect_labels = [](std::span<const sim::Envelope> envelopes) {
     std::vector<sim::Label> labels;
     labels.reserve(envelopes.size());
@@ -174,6 +215,10 @@ void BallsIntoLeavesProcess::process_init(
 
 void BallsIntoLeavesProcess::process_round1(
     std::span<const sim::Envelope> inbox) {
+  if (options_.tolerate_byzantine) {
+    process_round1_tolerant(inbox);
+    return;
+  }
   // In a crash-free round every recipient indexes the identical shared
   // inbox; round_index builds the map once per round for all of them.
   LabelIndex<PathMsg> scratch;
@@ -212,6 +257,10 @@ void BallsIntoLeavesProcess::process_round1(
 
 void BallsIntoLeavesProcess::process_round2(
     std::span<const sim::Envelope> inbox) {
+  if (options_.tolerate_byzantine) {
+    process_round2_tolerant(inbox);
+    return;
+  }
   LabelIndex<PositionMsg> scratch;
   const LabelIndex<PositionMsg>& positions =
       *sim::round_index(inbox, scratch, &index_by_label<PositionMsg>);
@@ -226,6 +275,264 @@ void BallsIntoLeavesProcess::process_round2(
     BIL_ENSURE(position.node < shape_->num_nodes(),
                "announced position out of range");
     view_.reposition(ball, position.node);
+  }
+}
+
+void BallsIntoLeavesProcess::process_init_tolerant(
+    std::span<const sim::Envelope> inbox) {
+  const auto collect_inits = [](std::span<const sim::Envelope> envelopes) {
+    std::vector<Attributed<InitMsg>> inits;
+    inits.reserve(envelopes.size());
+    Message decoded;
+    for (const sim::Envelope& envelope : envelopes) {
+      const Message* message =
+          sim::decode_cached(envelope, decoded, &decode_message);
+      if (message == nullptr) {
+        continue;  // undecodable — the sender looks silent
+      }
+      if (const InitMsg* msg = std::get_if<InitMsg>(message)) {
+        inits.push_back(Attributed<InitMsg>{*msg, envelope.from});
+      }
+    }
+    return inits;
+  };
+  std::vector<Attributed<InitMsg>> scratch;
+  const std::vector<Attributed<InitMsg>>& inits =
+      *sim::round_index(inbox, scratch, collect_inits);
+
+  // Bind each sender to the first label it announced. Labels are unique and
+  // fixed by assumption (paper §3), so a sender announcing a second label,
+  // or claiming a label another sender already owns, is provably lying.
+  for (const Attributed<InitMsg>& init : inits) {
+    const auto bound = label_of_sender_.find(init.from);
+    if (bound != label_of_sender_.end()) {
+      if (bound->second != init.msg.label) {
+        suspect(init.from);  // one sender, two labels: a phantom ball
+      }
+      continue;
+    }
+    const auto owner = sender_of_label_.find(init.msg.label);
+    if (owner != sender_of_label_.end() && owner->second != init.from) {
+      // Two senders claim one label. At most one is honest, and nothing in
+      // an unauthenticated payload says which — suspect both, symmetrically
+      // and deterministically in every view. (If the honest victim is *us*,
+      // the loop-back BIL_ENSURE below fires: a forged copy of our own
+      // label is identity theft, outside the tolerated fault model. The
+      // shipped corruption strategies never rewrite the init round for
+      // exactly this reason — see make_adversary.)
+      suspect(init.from);
+      suspect(owner->second);
+      continue;
+    }
+    label_of_sender_.emplace(init.from, init.msg.label);
+    sender_of_label_.emplace(init.msg.label, init.from);
+  }
+
+  // Insert the surviving bindings at the root, first-seen order, once each.
+  std::vector<sim::Label> labels;
+  labels.reserve(inits.size());
+  std::unordered_set<sim::Label> added;
+  added.reserve(inits.size());
+  for (const Attributed<InitMsg>& init : inits) {
+    if (!trusted_claim(init.from, init.msg.label)) {
+      continue;
+    }
+    if (added.insert(init.msg.label).second) {
+      labels.push_back(init.msg.label);
+    }
+  }
+  view_.insert_all_at_root(labels);
+  // The engine never rewrites a sender's own loopback (wire-level faults
+  // cannot reach it), so our init is always bound to us and trusted —
+  // unless another sender forged a copy of our label, which the conflict
+  // rule above punishes symmetrically and is outside the fault model.
+  BIL_ENSURE(view_.contains(options_.label),
+             "own init broadcast must loop back (a conflicting claim on our "
+             "own label is identity theft, beyond the tolerated fault model)");
+  phase_ = 1;
+}
+
+void BallsIntoLeavesProcess::process_round1_tolerant(
+    std::span<const sim::Envelope> inbox) {
+  AttributedIndex<PathMsg> scratch;
+  const AttributedIndex<PathMsg>& paths =
+      *sim::round_index(inbox, scratch, &index_all_by_label<PathMsg>);
+  // Forgery pre-pass: a message speaking for a label its sender does not
+  // own is a provable lie (Envelope::from is engine-authenticated). The
+  // index's iteration order is unspecified, but suspecting distinct senders
+  // commutes (insert into a set + remove that sender's own ball), so the
+  // post-pass view state is deterministic.
+  for (const auto& [label, claims] : paths) {
+    for (const Attributed<PathMsg>& claim : claims) {
+      if (const auto bound = label_of_sender_.find(claim.from);
+          bound == label_of_sender_.end() || bound->second != label) {
+        suspect(claim.from);
+      }
+    }
+  }
+  for (const sim::Label ball : movement_order()) {
+    if (!view_.contains(ball)) {
+      continue;  // removed by a suspicion during this pass
+    }
+    // The one trustworthy path for this ball: sent by its bound sender,
+    // which is not suspected. Anything else is treated as silence.
+    const Attributed<PathMsg>* path = nullptr;
+    const auto owner = sender_of_label_.find(ball);
+    if (owner != sender_of_label_.end() &&
+        suspected_.find(owner->second) == suspected_.end()) {
+      if (const auto it = paths.find(ball); it != paths.end()) {
+        for (const Attributed<PathMsg>& claim : it->second) {
+          if (claim.from == owner->second) {
+            path = &claim;
+            break;
+          }
+        }
+      }
+    }
+    if (path == nullptr) {
+      view_.remove(ball);  // silent (or silenced) — lines 19–20
+      continue;
+    }
+    const PathMsg& msg = path->msg;
+    if (msg.start >= shape_->num_nodes() ||
+        msg.target >= shape_->num_nodes() ||
+        !shape_->is_ancestor_or_self(msg.start, msg.target)) {
+      // A structurally impossible path is a provable lie, not the harness
+      // bug the crash-only BIL_ENSUREs guard against.
+      suspect(path->from);
+      continue;
+    }
+    if (msg.start != view_.current(ball)) {
+      // Unlike crash-only runs, Byzantine lies legitimately desynchronize
+      // views (an equivocator tells different stories to different
+      // recipients), so an *honest* sender's anchor can disagree with this
+      // view. The sender's self-claim is authoritative — repair, exactly as
+      // the label-order ablation path above does.
+      ++divergence_repairs_;
+      view_.reposition(ball, msg.start);
+    }
+    view_.descend_toward(ball, msg.target);
+  }
+}
+
+void BallsIntoLeavesProcess::process_round2_tolerant(
+    std::span<const sim::Envelope> inbox) {
+  AttributedIndex<PositionMsg> scratch;
+  const AttributedIndex<PositionMsg>& positions =
+      *sim::round_index(inbox, scratch, &index_all_by_label<PositionMsg>);
+  for (const auto& [label, claims] : positions) {
+    for (const Attributed<PositionMsg>& claim : claims) {
+      if (const auto bound = label_of_sender_.find(claim.from);
+          bound == label_of_sender_.end() || bound->second != label) {
+        suspect(claim.from);
+      }
+    }
+  }
+  for (const sim::Label ball : movement_order()) {
+    if (!view_.contains(ball)) {
+      continue;
+    }
+    const Attributed<PositionMsg>* position = nullptr;
+    const auto owner = sender_of_label_.find(ball);
+    if (owner != sender_of_label_.end() &&
+        suspected_.find(owner->second) == suspected_.end()) {
+      if (const auto it = positions.find(ball); it != positions.end()) {
+        for (const Attributed<PositionMsg>& claim : it->second) {
+          if (claim.from == owner->second) {
+            position = &claim;
+            break;
+          }
+        }
+      }
+    }
+    if (position == nullptr) {
+      view_.remove(ball);
+      continue;
+    }
+    if (position->msg.node >= shape_->num_nodes()) {
+      suspect(position->from);
+      continue;
+    }
+    view_.reposition(ball, position->msg.node);
+  }
+  resolve_leaf_conflicts();
+}
+
+void BallsIntoLeavesProcess::suspect(sim::ProcessId sender) {
+  if (!suspected_.insert(sender).second) {
+    return;
+  }
+  const auto bound = label_of_sender_.find(sender);
+  if (bound != label_of_sender_.end() && view_.contains(bound->second)) {
+    view_.remove(bound->second);
+  }
+}
+
+bool BallsIntoLeavesProcess::trusted_claim(sim::ProcessId from,
+                                           sim::Label label) const {
+  if (suspected_.find(from) != suspected_.end()) {
+    return false;
+  }
+  const auto bound = label_of_sender_.find(from);
+  return bound != label_of_sender_.end() && bound->second == label;
+}
+
+void BallsIntoLeavesProcess::resolve_leaf_conflicts() {
+  // Equivocation can deflect two balls onto one leaf: their capacity
+  // estimates diverged when they descended. Both claimants just announced
+  // their positions as reliable broadcasts, so every honest view — the
+  // losers' own included — sees the same conflict and applies the same
+  // rule: the lowest label keeps the leaf, the rest restart at the root and
+  // re-descend next phase. Because the rule also fires in the loser's own
+  // view, an honest loser genuinely restarts and its next announcements
+  // re-synchronize every view — uniqueness is restored everywhere
+  // simultaneously, and the system self-corrects. A *faulty* loser whose
+  // lies keep re-planting it at a contested leaf bounces instead, but only
+  // until its own (honest, uncorrupted) view terminates: then it halts,
+  // goes silent, and the silence rule purges its ball from every view.
+  conflict_scratch_.clear();
+  for (const sim::Label ball : view_.balls()) {  // ascending labels
+    const tree::NodeId node = view_.current(ball);
+    if (!shape_->is_leaf(node)) {
+      continue;
+    }
+    if (!conflict_scratch_.emplace(node, ball).second) {
+      view_.reposition(ball, tree::TreeShape::root());
+      ++evictions_;
+    }
+  }
+  // Unstick rule. Equivocation can also strand a ball at an inner node
+  // whose subtree is *genuinely* full: a forged path claim diverged the
+  // capacity estimates during round 1, the ball's clipped descent parked it
+  // at `node` believing a slot existed below, and this round's unconditional
+  // repositions then filled every leaf under `node` for real. Every path
+  // policy aims at a leaf below the current node and movement clips at it
+  // (core/policy.h), so without intervention the ball re-clips at `node`
+  // every phase forever — a livelock crash-free synchrony cannot produce
+  // (Proposition 1 keeps capacity estimates exact) but equivocation can.
+  // Restart such balls at the root. The test reads only the post-round-2
+  // leaf occupancy, which the reconvergence argument above makes identical
+  // in every view, so all views — the stuck ball's own included — move the
+  // same balls, and the restarted ball re-descends toward real slack next
+  // phase. The root itself can never be "full" here: with this ball off any
+  // leaf, at most num_leaves - 1 leaves are occupied.
+  for (const sim::Label ball : view_.balls()) {
+    const tree::NodeId node = view_.current(ball);
+    if (shape_->is_leaf(node) || node == tree::TreeShape::root()) {
+      continue;
+    }
+    const std::uint32_t first = shape_->first_leaf(node);
+    std::uint32_t occupied = 0;
+    for (std::uint32_t rank = first; rank < first + shape_->leaf_count(node);
+         ++rank) {
+      if (conflict_scratch_.contains(shape_->leaf_at(rank))) {
+        ++occupied;
+      }
+    }
+    if (occupied == shape_->leaf_count(node)) {
+      view_.reposition(ball, tree::TreeShape::root());
+      ++evictions_;
+    }
   }
 }
 

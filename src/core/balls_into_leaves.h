@@ -31,6 +31,8 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/observer.h"
@@ -105,6 +107,23 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
     std::shared_ptr<const tree::TreeShape> shape;
     /// Optional phase-boundary instrumentation; not owned, may be null.
     PhaseObserver* observer = nullptr;
+    /// Byzantine tolerance: validate instead of trust. When set, the process
+    /// (a) binds each sender id to the one label it announced at init and
+    /// drops — suspecting the sender — any later message that speaks for a
+    /// different label (Envelope::from is engine-authenticated, so the
+    /// binding defeats impersonation and phantom balls), (b) repairs a
+    /// diverged path anchor to the sender's self-claim instead of asserting
+    /// view synchrony (Byzantine lies legitimately desynchronize views),
+    /// (c) treats out-of-range or out-of-subtree claims as lies (suspect +
+    /// silence) instead of harness bugs, and (d) evicts all but the
+    /// lowest-label ball from any multiply-claimed leaf after each position
+    /// round, so honest names stay unique even when equivocation makes
+    /// honest balls collide, and (e) restarts at the root any ball stranded
+    /// at an inner node whose subtree's leaves have all filled up (a
+    /// livelock only divergent capacity estimates can manufacture). When false (the default) none of these paths
+    /// execute and behavior is bit-identical to the crash-only protocol —
+    /// the tolerance layer provably costs nothing when nobody lies.
+    bool tolerate_byzantine = false;
   };
 
   explicit BallsIntoLeavesProcess(Options options);
@@ -136,6 +155,14 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
   [[nodiscard]] std::uint64_t divergence_repairs() const noexcept {
     return divergence_repairs_;
   }
+  /// Senders this process has caught lying (tolerate_byzantine only).
+  [[nodiscard]] std::size_t suspected_count() const noexcept {
+    return suspected_.size();
+  }
+  /// Balls this process restarted at the root — evicted from a
+  /// multiply-claimed leaf, or unstuck from an inner node whose subtree had
+  /// filled up under it (tolerate_byzantine only).
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
   [[nodiscard]] tree::NodeId choose_target(tree::NodeId current);
@@ -148,6 +175,20 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
   void process_round2(std::span<const sim::Envelope> inbox);
   void maybe_finish();
 
+  // -- Byzantine validation (tolerate_byzantine only) ----------------------
+  void process_init_tolerant(std::span<const sim::Envelope> inbox);
+  void process_round1_tolerant(std::span<const sim::Envelope> inbox);
+  void process_round2_tolerant(std::span<const sim::Envelope> inbox);
+  /// Marks a sender as lying and removes its ball from the view (a caught
+  /// liar is silenced for good — the damage cap behind f-tolerance).
+  void suspect(sim::ProcessId sender);
+  /// True iff `from` is the sender bound to `label` and not suspected.
+  [[nodiscard]] bool trusted_claim(sim::ProcessId from, sim::Label label) const;
+  /// Lowest label keeps a multiply-claimed leaf; the rest restart at the
+  /// root, as does any ball stranded at an inner node with no free leaf
+  /// below it (the unstick rule). Runs after each position round.
+  void resolve_leaf_conflicts();
+
   Options options_;
   Rng rng_;
   std::shared_ptr<const tree::TreeShape> shape_;
@@ -158,6 +199,16 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
   std::uint64_t divergence_repairs_ = 0;
   /// movement_order scratch for the label-order ablation.
   std::vector<sim::Label> ablation_order_;
+
+  // -- Byzantine validation state (tolerate_byzantine only; all empty and
+  // untouched in crash-only runs) ------------------------------------------
+  /// label ↔ sender bindings formed at init (first init per sender wins).
+  std::unordered_map<sim::ProcessId, sim::Label> label_of_sender_;
+  std::unordered_map<sim::Label, sim::ProcessId> sender_of_label_;
+  std::unordered_set<sim::ProcessId> suspected_;
+  std::uint64_t evictions_ = 0;
+  /// resolve_leaf_conflicts scratch: leaf -> lowest label seen this pass.
+  std::unordered_map<tree::NodeId, sim::Label> conflict_scratch_;
 };
 
 }  // namespace bil::core

@@ -1,0 +1,139 @@
+#include "core/byzantine_adversary.h"
+
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+
+#include "core/messages.h"
+#include "util/contract.h"
+#include "wire/wire.h"
+
+namespace bil::core {
+
+namespace {
+
+/// Labels fabricated for phantom balls live far above any label the harness
+/// hands out, so a phantom can never shadow a real ball by accident — it is
+/// caught (or not) purely by the binding rule.
+inline constexpr sim::Label kPhantomLabelBase = sim::Label{1} << 60;
+
+/// Reads the faulty process's own label off its honest broadcast. Returns
+/// false when the outbox holds nothing decodable as a BiL message (e.g. a
+/// non-BiL algorithm under this adversary) — then this sender is left
+/// honest for the round.
+bool own_label(std::span<const sim::OutboundMessage> outgoing,
+               sim::Label& label) {
+  for (const sim::OutboundMessage& message : outgoing) {
+    try {
+      const Message decoded = decode_message(*message.payload);
+      label = std::visit([](const auto& msg) { return msg.label; }, decoded);
+      return true;
+    } catch (const wire::WireError&) {
+      continue;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ByzantineLiarAdversary::ByzantineLiarAdversary(
+    std::shared_ptr<const tree::TreeShape> shape, Options options,
+    std::uint64_t seed)
+    : shape_(std::move(shape)), options_(options), rng_(seed) {
+  BIL_REQUIRE(shape_ != nullptr, "liar adversary needs the run's tree shape");
+  BIL_REQUIRE(options_.byzantine <= shape_->num_leaves(),
+              "cannot assign distinct lie leaves to more liars than leaves");
+  // Lie leaves are drawn *without replacement*: if two liars claimed the
+  // same leaf, honest views would evict the higher-label one every position
+  // round and its next lie would re-plant it — a permanent conflict that
+  // blocks all_at_leaves in every honest view. Distinct stable claims keep
+  // the consistent-lies mode safe to run unbounded.
+  std::unordered_set<tree::NodeId> taken;
+  lie_leaf_.reserve(options_.byzantine);
+  for (std::uint32_t i = 0; i < options_.byzantine; ++i) {
+    tree::NodeId leaf = tree::kNoNode;
+    do {
+      leaf = shape_->leaf_at(
+          static_cast<std::uint32_t>(rng_.below(shape_->num_leaves())));
+    } while (!taken.insert(leaf).second);
+    lie_leaf_.push_back(leaf);
+  }
+}
+
+void ByzantineLiarAdversary::schedule(const sim::RoundView& /*view*/,
+                                      sim::CrashPlan& /*plan*/) {}
+
+void ByzantineLiarAdversary::corrupt(const sim::RoundView& view,
+                                     sim::CorruptionPlan& plan) {
+  const sim::RoundNumber round = view.round();
+  if (round == 0) {
+    if (!options_.phantom_inits) {
+      return;  // inits pass through; bindings form normally
+    }
+    for (std::uint32_t sender = 0; sender < options_.byzantine; ++sender) {
+      sim::Label label = 0;
+      if (!view.is_alive(sender) || !own_label(view.outgoing(sender), label)) {
+        continue;
+      }
+      std::vector<wire::Buffer> story;
+      story.push_back(encode_message(InitMsg{label}));
+      story.push_back(encode_message(InitMsg{kPhantomLabelBase + sender}));
+      plan.rewrite_all(sender, std::move(story));
+    }
+    return;
+  }
+  if (round < options_.start_round ||
+      (options_.rounds != 0 &&
+       round >= options_.start_round + options_.rounds)) {
+    return;
+  }
+  const bool path_round = round % 2 == 1;
+  // kEquivocate forges only path announcements. Position rounds are the
+  // protocol's reconvergence points: every view repositions every ball to
+  // its (reliably broadcast) position claim, so after each round 2 all
+  // views agree on all ball positions and the leaf-conflict rule fires
+  // identically everywhere. Equivocating positions too would make views
+  // disagree *persistently* about where the faulty balls sit — two faulty
+  // balls whose honest descents picked the same leaf then fight over it in
+  // every honest view forever, and all_at_leaves never holds anywhere. That
+  // attack defeats any validation layer built on unauthenticated position
+  // reports (it is why BFT protocols reach for signatures or quorums), so
+  // it is out of scope for the tolerance claims this repo makes; the
+  // shipped equivocator corrupts the movement gossip, which the repair +
+  // eviction rules provably absorb.
+  if (options_.mode == Mode::kEquivocate && !path_round) {
+    return;
+  }
+  const auto make_lie = [&](sim::Label label, tree::NodeId leaf) {
+    return encode_message(path_round ? Message(PathMsg{label, leaf, leaf})
+                                     : Message(PositionMsg{label, leaf}));
+  };
+  for (std::uint32_t sender = 0; sender < options_.byzantine; ++sender) {
+    sim::Label label = 0;
+    if (!view.is_alive(sender) || !own_label(view.outgoing(sender), label)) {
+      continue;
+    }
+    if (options_.mode == Mode::kConsistentLies) {
+      std::vector<wire::Buffer> story;
+      story.push_back(make_lie(label, lie_leaf_[sender]));
+      plan.rewrite_all(sender, std::move(story));
+      continue;
+    }
+    // kEquivocate: a fresh lie per recipient, drawn in alive-id order so the
+    // RNG stream (and hence the run) is deterministic.
+    for (const sim::ProcessId recipient : view.alive()) {
+      if (recipient == sender) {
+        continue;  // loopback is not rewritable anyway
+      }
+      const tree::NodeId leaf = shape_->leaf_at(
+          static_cast<std::uint32_t>(rng_.below(shape_->num_leaves())));
+      std::vector<wire::Buffer> story;
+      story.push_back(make_lie(label, leaf));
+      plan.rewrite(sender, recipient, std::move(story));
+    }
+  }
+}
+
+}  // namespace bil::core

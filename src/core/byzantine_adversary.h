@@ -1,0 +1,91 @@
+// Protocol-aware Byzantine adversaries for Balls-into-Leaves.
+//
+// The wire-level sim::ByzantineCorruptionAdversary garbles bytes; these
+// strategies forge *structurally valid* BiL messages, which is the harder
+// attack: a garbled payload fails to decode and the sender merely looks
+// silent (≈ crashed), while a well-formed lie passes the codec and must be
+// caught — or survived — by the algorithm's validation layer
+// (BallsIntoLeavesProcess::Options::tolerate_byzantine). They live in core/
+// next to the message codecs, mirroring the targeted-adversary split
+// (core/targeted_adversary.h): sim/ stays protocol-agnostic.
+//
+// Both modes rewrite traffic through sim::CorruptionPlan, so the faulty
+// processes themselves run honest code and always see their own clean
+// loopback (their local views stay self-consistent and they terminate like
+// anyone else); only the story told to *others* is corrupted.
+//
+//   kConsistentLies — phantom leaf occupancy: each faulty sender picks one
+//     fixed lie leaf at construction and forever claims to sit there (path
+//     rounds: ⟨label, lie, lie⟩; position rounds: ⟨label, lie⟩), identically
+//     to every recipient. Honest views repair the ball onto the claimed
+//     leaf, so up to f leaves are squatted — the strongest *undetectable*
+//     lie, since a consistent self-report is indistinguishable from an
+//     honest ball that walked there. Safe to run unbounded: the claims are
+//     stable, so honest termination is never blocked.
+//
+//   kEquivocate — different leaf claims to different recipients each firing
+//     *path* round, so honest views disagree about where the faulty balls
+//     sit while simulating descents, their capacity estimates diverge, and
+//     honest-honest leaf collisions get manufactured for the validation
+//     layer's eviction rule to resolve. Position rounds pass through
+//     honestly: they are the protocol's reconvergence points (see the
+//     comment in corrupt()), and equivocating them defeats any validation
+//     built on unauthenticated position reports — out of scope for this
+//     repo's tolerance claims. Sustained path equivocation can still
+//     displace honest balls indefinitely, so cap it with Options::rounds
+//     (the claims preset uses a small budget); once the budget runs out the
+//     honest broadcasts resume and views repair-converge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "tree/shape.h"
+#include "util/rng.h"
+
+namespace bil::core {
+
+class ByzantineLiarAdversary final : public sim::Adversary {
+ public:
+  enum class Mode : std::uint8_t {
+    kConsistentLies,
+    kEquivocate,
+  };
+
+  struct Options {
+    /// f — number of faulty senders (ids 0..f-1, fixed at construction).
+    std::uint32_t byzantine = 0;
+    Mode mode = Mode::kConsistentLies;
+    /// First corrupting round; round 0 (init) is never rewritten unless
+    /// phantom_inits is set, so label↔sender bindings form normally.
+    sim::RoundNumber start_round = 1;
+    /// Corrupting rounds: [start_round, start_round + rounds); 0 = every
+    /// round from start_round on. Cap kEquivocate (see file comment).
+    sim::RoundNumber rounds = 0;
+    /// When true, each faulty sender's round-0 init is rewritten to carry a
+    /// second, fabricated label — a phantom ball. The validation layer's
+    /// binding rule (one label per sender) catches this and suspects the
+    /// sender outright.
+    bool phantom_inits = false;
+  };
+
+  /// `shape` must be the run's tree shape (lie targets are its leaves).
+  ByzantineLiarAdversary(std::shared_ptr<const tree::TreeShape> shape,
+                         Options options, std::uint64_t seed);
+
+  void schedule(const sim::RoundView& view, sim::CrashPlan& plan) override;
+  void corrupt(const sim::RoundView& view, sim::CorruptionPlan& plan) override;
+
+ private:
+  std::shared_ptr<const tree::TreeShape> shape_;
+  Options options_;
+  Rng rng_;
+  /// kConsistentLies: the fixed lie leaf per faulty sender, drawn once at
+  /// construction (distinct across senders — see the constructor) so the
+  /// story never changes.
+  std::vector<tree::NodeId> lie_leaf_;
+};
+
+}  // namespace bil::core

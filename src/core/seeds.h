@@ -30,5 +30,9 @@ inline constexpr std::uint64_t kSeedDomainChurnLease = 6;
 /// derive_seed(service_seed, kSeedDomainServiceInstance, instance_index)
 /// seeds the renaming instance launched for one joiner batch.
 inline constexpr std::uint64_t kSeedDomainServiceInstance = 7;
+/// derive_seed(run_seed, kSeedDomainByzantine, k) seeds Byzantine corruption
+/// stream k — a separate domain from kSeedDomainAdversary so adding wire
+/// corruption to a run never perturbs the crash schedule it rides on.
+inline constexpr std::uint64_t kSeedDomainByzantine = 8;
 
 }  // namespace bil::core

@@ -5,6 +5,7 @@
 
 #include "baselines/gossip.h"
 #include "baselines/naive_bins.h"
+#include "core/byzantine_adversary.h"
 #include "core/seeds.h"
 #include "core/targeted_adversary.h"
 #include "tree/shape.h"
@@ -47,6 +48,12 @@ const char* to_string(AdversaryKind kind) noexcept {
       return "targeted-winner";
     case AdversaryKind::kTargetedAnnouncer:
       return "targeted-announcer";
+    case AdversaryKind::kByzantineBitFlip:
+      return "byzantine-bitflip";
+    case AdversaryKind::kByzantineLiar:
+      return "byzantine-liar";
+    case AdversaryKind::kByzantineEquivocator:
+      return "byzantine-equivocator";
   }
   return "unknown";
 }
@@ -127,6 +134,48 @@ std::unique_ptr<sim::Adversary> make_adversary(
               .subset_policy = spec.subset},
           seed);
     }
+    // Byzantine kinds draw from their own seed domain so that adding wire
+    // corruption to a run never perturbs a crash schedule it rides on. A
+    // zero budget means nobody corrupts anything: return no adversary at
+    // all, so f = 0 is *literally* the failure-free run (and non-tree
+    // algorithms never trip the shape requirement below).
+    case AdversaryKind::kByzantineBitFlip:
+      if (spec.byzantine == 0) {
+        return nullptr;
+      }
+      // start_round 1: the init round carries identity announcements, which
+      // the paper's model takes as genuine (processes have authentic
+      // distinct original names). A bit-flipped init that happens to decode
+      // with another process's label would be identity theft one level
+      // below even the Byzantine model — the engine authenticates senders,
+      // and labels are the sender-level identities. Rounds >= 1 are fair
+      // game: garbled protocol traffic must be absorbed.
+      return std::make_unique<sim::ByzantineCorruptionAdversary>(
+          sim::ByzantineCorruptionAdversary::Options{
+              .byzantine = spec.byzantine,
+              .start_round = 1,
+              .rounds = spec.byzantine_rounds,
+              .mode = sim::ByzantineCorruptionAdversary::Mode::kMixed},
+          derive_seed(run_seed, core::kSeedDomainByzantine, 0));
+    case AdversaryKind::kByzantineLiar:
+    case AdversaryKind::kByzantineEquivocator: {
+      if (spec.byzantine == 0) {
+        return nullptr;
+      }
+      BIL_REQUIRE(shape != nullptr,
+                  "Byzantine liar adversaries require a tree-based algorithm");
+      const auto mode = spec.kind == AdversaryKind::kByzantineLiar
+                            ? core::ByzantineLiarAdversary::Mode::kConsistentLies
+                            : core::ByzantineLiarAdversary::Mode::kEquivocate;
+      return std::make_unique<core::ByzantineLiarAdversary>(
+          shape,
+          core::ByzantineLiarAdversary::Options{
+              .byzantine = spec.byzantine,
+              .mode = mode,
+              .start_round = 1,
+              .rounds = spec.byzantine_rounds},
+          derive_seed(run_seed, core::kSeedDomainByzantine, 0));
+    }
   }
   return nullptr;
 }
@@ -142,6 +191,18 @@ RunSummary run_renaming(const RunConfig& config) {
                           config.algorithm == Algorithm::kEarlyTerminating ||
                           config.algorithm == Algorithm::kRankDescent ||
                           config.algorithm == Algorithm::kHalving;
+  const bool byzantine = config.adversary.byzantine > 0;
+  if (byzantine) {
+    BIL_REQUIRE(tree_based,
+                "the Byzantine validation layer lives in the tree-based "
+                "processes; baselines cannot run under a byzantine budget");
+    // A forged position claim can make an honest view believe a leaf is
+    // taken (or free) before conflicts are resolved; eager decisions bind a
+    // name that the eviction rule may still revoke. Global termination
+    // decides only after the final conflict-free position round.
+    BIL_REQUIRE(config.termination != core::TerminationMode::kEagerLeaf,
+                "eager-leaf termination is unsound under Byzantine faults");
+  }
   std::shared_ptr<const tree::TreeShape> shape;
   if (tree_based) {
     shape = tree::TreeShape::make(config.n);
@@ -181,7 +242,8 @@ RunSummary run_renaming(const RunConfig& config) {
                     .shape = shape,
                     .observer = (config.observe && id == config.n - 1)
                                     ? &observer
-                                    : nullptr}));
+                                    : nullptr,
+                    .tolerate_byzantine = byzantine}));
         break;
     }
   }
@@ -189,6 +251,7 @@ RunSummary run_renaming(const RunConfig& config) {
   sim::Engine engine(
       sim::EngineConfig{.num_processes = config.n,
                         .max_crashes = config.adversary.crashes,
+                        .max_byzantine = config.adversary.byzantine,
                         .max_rounds = config.max_rounds,
                         .num_threads = config.engine_threads,
                         .trace = config.trace},

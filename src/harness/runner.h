@@ -47,6 +47,18 @@ enum class AdversaryKind : std::uint8_t {
   kTargetedWinner,
   /// core::TargetedCollisionAdversary, kDeepestAnnouncer mode.
   kTargetedAnnouncer,
+  // -- Byzantine (wire-corruption) kinds: rewrite outgoing traffic instead
+  // of crashing. The faulty processes run honest code; see
+  // sim::CorruptionPlan for the fault model.
+  /// sim::ByzantineCorruptionAdversary — bit-flips / truncations; garbled
+  /// payloads fail to decode, so the sender merely looks silent.
+  kByzantineBitFlip,
+  /// core::ByzantineLiarAdversary, kConsistentLies: phantom leaf occupancy.
+  kByzantineLiar,
+  /// core::ByzantineLiarAdversary, kEquivocate: per-recipient contradictory
+  /// claims. Cap with AdversarySpec::byzantine_rounds (see the adversary's
+  /// header for why unbounded equivocation can postpone termination).
+  kByzantineEquivocator,
 };
 
 [[nodiscard]] const char* to_string(AdversaryKind kind) noexcept;
@@ -62,6 +74,16 @@ struct AdversarySpec {
   /// Victims per firing round (sandwich/eager/targeted).
   std::uint32_t per_round = 1;
   sim::SubsetPolicy subset = sim::SubsetPolicy::kRandomHalf;
+  /// Byzantine budget f for the kByzantine* kinds: processes 0..f-1 have
+  /// their outgoing wire traffic rewritten. Requires a tree-based algorithm
+  /// (the validation layer lives in BallsIntoLeavesProcess) and forbids
+  /// TerminationMode::kEagerLeaf (a forged leaf claim could force a
+  /// premature, conflicting decision). Seeded from kSeedDomainByzantine, so
+  /// combining with a crash budget never perturbs the crash schedule.
+  std::uint32_t byzantine = 0;
+  /// Corrupting-round budget for kByzantine* kinds; 0 = every round. The
+  /// equivocator should set this (see AdversaryKind::kByzantineEquivocator).
+  sim::RoundNumber byzantine_rounds = 0;
 };
 
 /// Sentinel for RunConfig::gossip_t: resolve t to n-1 (tolerate every

@@ -777,6 +777,103 @@ PresetSpec churn_steady_state_preset() {
   return preset;
 }
 
+PresetSpec byzantine_tolerance_preset() {
+  PresetSpec preset;
+  preset.name = "byzantine-tolerance";
+  preset.title = "Byzantine wire corruption: validation bounds the damage";
+  preset.description =
+      "Beyond the paper's crash model: f of the n processes have their "
+      "outgoing wire traffic rewritten by the adversary — garbled bytes "
+      "(`byzantine-bitflip`), a stable forged leaf claim per sender "
+      "(`byzantine-liar`, the strongest undetectable lie), or a different "
+      "forged path claim to every recipient (`byzantine-equivocator`, "
+      "capped at a 6-round firing budget; unbounded equivocation defers "
+      "termination indefinitely). The algorithms' validation layer "
+      "(BallsIntoLeavesProcess::Options::tolerate_byzantine) binds each "
+      "sender to its init label, repairs diverged path anchors, evicts "
+      "conflicting leaf claims lowest-label-first, and restarts balls "
+      "stranded over exhausted subtrees, so every honest process still "
+      "decides a unique tight name (run_renaming validates each run). The "
+      "f axis sweeps f = 1, √n, n/8 at n = 256 on the exact engine (the "
+      "fast single-view backend has no representation for per-recipient "
+      "corruption). The measured cost: round inflation stays within a "
+      "small constant factor of failure-free plain BiL — including for "
+      "the §6 early-terminating extension, whose constant-round "
+      "failure-free decision necessarily degrades back to plain-BiL "
+      "speeds once forged claims must be cross-checked.";
+
+  const std::uint32_t n = 256;
+  const std::vector<std::uint32_t> f_grid = {1, 16, 32};  // 1, sqrt(n), n/8
+
+  const auto add = [&preset, &n, &f_grid](
+                       const char* label, Algorithm algorithm,
+                       AdversaryKind kind, sim::RoundNumber budget) {
+    SeriesSpec series;
+    series.label = label;
+    series.algorithm = algorithm;
+    series.n_values = {n};
+    series.f_values = f_grid;
+    series.seeds = 6;
+    series.backend = api::BackendKind::kEngine;
+    series.adversary = [kind, budget](std::uint32_t, std::uint32_t f) {
+      return AdversarySpec{
+          .kind = kind, .byzantine = f, .byzantine_rounds = budget};
+    };
+    preset.series.push_back(std::move(series));
+  };
+
+  SeriesSpec reference;
+  reference.label = "bil-failure-free";
+  reference.algorithm = Algorithm::kBallsIntoLeaves;
+  reference.n_values = {n};
+  reference.seeds = 6;
+  reference.backend = api::BackendKind::kEngine;
+  preset.series.push_back(reference);
+
+  add("bil-bitflip", Algorithm::kBallsIntoLeaves,
+      AdversaryKind::kByzantineBitFlip, 0);
+  add("bil-liar", Algorithm::kBallsIntoLeaves, AdversaryKind::kByzantineLiar,
+      0);
+  add("bil-equivocator", Algorithm::kBallsIntoLeaves,
+      AdversaryKind::kByzantineEquivocator, 6);
+  add("early-bitflip", Algorithm::kEarlyTerminating,
+      AdversaryKind::kByzantineBitFlip, 0);
+  add("early-liar", Algorithm::kEarlyTerminating,
+      AdversaryKind::kByzantineLiar, 0);
+  add("early-equivocator", Algorithm::kEarlyTerminating,
+      AdversaryKind::kByzantineEquivocator, 6);
+
+  for (const char* label : {"bil-bitflip", "bil-liar", "bil-equivocator",
+                            "early-bitflip", "early-liar",
+                            "early-equivocator"}) {
+    preset.claims.push_back(
+        {.name = std::string("byzantine-inflation-") + label,
+         .statement =
+             std::string("Under ") + label +
+             " the mean rounds stay within 2x of failure-free plain BiL at "
+             "every f in {1, sqrt(n), n/8} — wire-level Byzantine "
+             "corruption costs a constant factor, not the complexity "
+             "class (measured worst case ~1.6x).",
+         .kind = ClaimKind::kRatioBound,
+         .series = label,
+         .reference = "bil-failure-free",
+         .metric = Metric::kRoundsMean,
+         .factor = 2.0});
+    preset.claims.push_back(
+        {.name = std::string("byzantine-rounds-capped-") + label,
+         .statement =
+             std::string("Worst observed rounds under ") + label +
+             " stay <= 24 at every f (observed max 15; the eviction + "
+             "unstick rules re-converge views within a few phases of the "
+             "last forged claim).",
+         .kind = ClaimKind::kAbsoluteBound,
+         .series = label,
+         .metric = Metric::kRoundsMax,
+         .bound = 24.0});
+  }
+  return preset;
+}
+
 PresetSpec ci_preset() {
   PresetSpec preset;
   preset.name = "ci";
@@ -990,6 +1087,7 @@ std::vector<PresetSpec> build_registry() {
   presets.push_back(early_termination_preset());
   presets.push_back(load_balancing_gap_preset());
   presets.push_back(churn_steady_state_preset());
+  presets.push_back(byzantine_tolerance_preset());
   presets.push_back(ci_preset());
   return presets;
 }

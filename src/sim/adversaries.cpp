@@ -150,4 +150,60 @@ void EagerCrashAdversary::schedule(const RoundView& view, CrashPlan& plan) {
   }
 }
 
+ByzantineCorruptionAdversary::ByzantineCorruptionAdversary(Options options,
+                                                           std::uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+void ByzantineCorruptionAdversary::schedule(const RoundView& /*view*/,
+                                            CrashPlan& /*plan*/) {}
+
+void ByzantineCorruptionAdversary::corrupt(const RoundView& view,
+                                           CorruptionPlan& plan) {
+  const RoundNumber round = view.round();
+  if (round < options_.start_round ||
+      (options_.rounds != 0 &&
+       round >= options_.start_round + options_.rounds)) {
+    return;
+  }
+  for (ProcessId sender = 0; sender < options_.byzantine; ++sender) {
+    if (!view.is_alive(sender) || view.outgoing(sender).empty()) {
+      continue;
+    }
+    std::vector<wire::Buffer> mutated;
+    mutated.reserve(view.outgoing(sender).size());
+    for (const OutboundMessage& message : view.outgoing(sender)) {
+      wire::Buffer garbled(message.payload->begin(), message.payload->end());
+      Mode mode = options_.mode;
+      if (mode == Mode::kMixed) {
+        mode = static_cast<Mode>(rng_.below(3));  // includes appending junk
+      }
+      switch (mode) {
+        case Mode::kBitFlip:
+          if (!garbled.empty()) {
+            const std::uint64_t flips = rng_.between(1, 8);
+            for (std::uint64_t i = 0; i < flips; ++i) {
+              const std::uint64_t bit = rng_.below(garbled.size() * 8);
+              garbled[bit / 8] ^=
+                  static_cast<std::byte>(std::uint8_t{1} << (bit % 8));
+            }
+          }
+          break;
+        case Mode::kTruncate:
+          garbled.resize(rng_.below(garbled.size() + 1));
+          break;
+        default: {
+          // kMixed resolved to 2: length lie — trailing junk bytes.
+          const std::uint64_t extra = rng_.between(1, 8);
+          for (std::uint64_t i = 0; i < extra; ++i) {
+            garbled.push_back(static_cast<std::byte>(rng_.below(256)));
+          }
+          break;
+        }
+      }
+      mutated.push_back(std::move(garbled));
+    }
+    plan.rewrite_all(sender, std::move(mutated));
+  }
+}
+
 }  // namespace bil::sim

@@ -7,17 +7,26 @@
 // messages off the wire) lives in src/core/targeted_adversary.h because it
 // needs the protocol's message codecs.
 //
-// Schedule-only contract: every strategy in this file is *oblivious in its
-// inputs* — schedule() reads only the RoundView's round number, alive list
-// and remaining budget, never process state or outbox contents. That makes
-// them drivable through sim::make_schedule_view (adversary.h), which is how
-// the crash-capable fast simulator replays the exact engine crash schedule
-// (victims, rounds, delivery subsets, RNG stream) without an engine. Keep
-// it that way: a strategy that starts reading outboxes leaves the
-// schedule-only set and must instead be driven through synthesized traffic
-// (sim/oracle_view.h), as the targeted adversaries are — an adversary that
-// introspects process() internals has no symbolic replay at all and must
-// clear api::AdversaryInfo::fast_sim_capable.
+// Schedule-only contract: every *crash* strategy in this file is oblivious
+// in its inputs — schedule() reads only the RoundView's round number, alive
+// list and remaining budget, never process state or outbox contents. That
+// makes them drivable through sim::make_schedule_view (adversary.h), which
+// is how the crash-capable fast simulator replays the exact engine crash
+// schedule (victims, rounds, delivery subsets, RNG stream) without an
+// engine. Keep it that way: a strategy that starts reading outboxes leaves
+// the schedule-only set and must instead be driven through synthesized
+// traffic (sim/oracle_view.h), as the targeted adversaries are — an
+// adversary that introspects process() internals has no symbolic replay at
+// all and must clear api::AdversaryInfo::fast_sim_capable.
+//
+// The Byzantine family is the deliberate exception: corruption rewrites
+// materialized wire traffic per recipient (CorruptionPlan), so every
+// Byzantine strategy reads outboxes by construction and is engine-only
+// (fast_sim_capable = false in the registry). The wire-level
+// ByzantineCorruptionAdversary lives below; the protocol-aware liar and
+// equivocator (which forge structurally valid BiL messages) live in
+// src/core/byzantine_adversary.h next to the message codecs, mirroring the
+// targeted-adversary split.
 #pragma once
 
 #include <cstdint>
@@ -142,6 +151,44 @@ class EagerCrashAdversary final : public Adversary {
   EagerCrashAdversary(Options options, std::uint64_t seed);
 
   void schedule(const RoundView& view, CrashPlan& plan) override;
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+/// Wire-level Byzantine corruption: garbles the traffic of the `byzantine`
+/// lowest process ids (the faulty set is fixed at construction, matching the
+/// paper convention that f is a property of the execution, not a budget to
+/// spend adaptively). Each firing round, every outgoing payload of a faulty
+/// sender is copied and mutated — random bit flips, truncation, or trailing
+/// garbage — and installed for all recipients via
+/// CorruptionPlan::rewrite_all, so recipients exercise their WireError
+/// handling while the sender itself still sees its own clean loopback.
+/// Crashes nobody. Protocol-agnostic: mutates bytes, never decodes them.
+class ByzantineCorruptionAdversary final : public Adversary {
+ public:
+  enum class Mode : std::uint8_t {
+    kBitFlip,    ///< flip 1–8 random bits per payload
+    kTruncate,   ///< cut the payload short (possibly to zero bytes)
+    kMixed,      ///< per payload, randomly bit-flip / truncate / append junk
+  };
+
+  struct Options {
+    /// f — number of faulty senders (ids 0..f-1).
+    std::uint32_t byzantine = 0;
+    RoundNumber start_round = 0;
+    /// Corrupting rounds: [start_round, start_round + rounds); 0 = every
+    /// round from start_round on (safe: garbled senders just look silent
+    /// to recipients that validate, so termination is never blocked).
+    RoundNumber rounds = 0;
+    Mode mode = Mode::kMixed;
+  };
+
+  ByzantineCorruptionAdversary(Options options, std::uint64_t seed);
+
+  void schedule(const RoundView& view, CrashPlan& plan) override;
+  void corrupt(const RoundView& view, CorruptionPlan& plan) override;
 
  private:
   Options options_;

@@ -99,6 +99,80 @@ class RoundView {
                    crash_budget_remaining);
 }
 
+/// The outbox rewrites a Byzantine adversary commits for one round.
+///
+/// Crash faults can only silence a process; a Byzantine fault makes its
+/// *wire traffic* arbitrary. The model here keeps the process object itself
+/// honest (it runs unmodified protocol code) and puts the fault on the wire:
+/// the adversary replaces what a faulty sender's messages look like to each
+/// recipient. This cleanly expresses every classic Byzantine behavior —
+/// garbage payloads, semantic lies, and equivocation (different stories to
+/// different recipients) — while the engine remains the sole authority on
+/// Envelope::from, so a Byzantine node can never impersonate another sender.
+///
+/// Loopback exclusion: a rewrite never applies to the sender's own delivery
+/// of its own messages — loopback does not traverse the wire, so the faulty
+/// process always sees its own original traffic. (Consequence: the faulty
+/// process's view stays self-consistent and it terminates like any honest
+/// process; only its *outgoing* story is corrupted.)
+///
+/// Payload lifetime matches Outbox: buffers interned here are valid through
+/// the delivery round and recycled when the engine clears the plan before
+/// the next adversary phase.
+class CorruptionPlan {
+ public:
+  struct Rewrite {
+    ProcessId sender = kNoProcess;
+    /// kNoProcess = applies to every recipient without a more specific
+    /// per-recipient rewrite (except the sender itself; see loopback note).
+    ProcessId recipient = kNoProcess;
+    /// Replacement traffic, delivered as broadcasts in order. Empty = the
+    /// recipient sees nothing from this sender (selective silence).
+    std::vector<const wire::Buffer*> payloads;
+  };
+
+  /// Replaces what `recipient` receives from `sender` this round.
+  /// `recipient` must not be `sender` (loopback does not traverse the wire).
+  void rewrite(ProcessId sender, ProcessId recipient,
+               std::vector<wire::Buffer> payloads) {
+    rewrites_.push_back(Rewrite{sender, recipient, intern(std::move(payloads))});
+  }
+
+  /// Replaces what every recipient without a per-recipient rewrite receives
+  /// from `sender` this round. The sender itself keeps its original
+  /// loopback.
+  void rewrite_all(ProcessId sender, std::vector<wire::Buffer> payloads) {
+    rewrites_.push_back(
+        Rewrite{sender, kNoProcess, intern(std::move(payloads))});
+  }
+
+  [[nodiscard]] std::span<const Rewrite> rewrites() const noexcept {
+    return rewrites_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return rewrites_.empty(); }
+
+  /// Drops the round's rewrites and recycles their payload slots (engine
+  /// internal, called before each adversary phase). Handles obtained from
+  /// rewrites() are invalid afterwards.
+  void clear() noexcept {
+    rewrites_.clear();
+    arena_.reset();
+  }
+
+ private:
+  std::vector<const wire::Buffer*> intern(std::vector<wire::Buffer> payloads) {
+    std::vector<const wire::Buffer*> handles;
+    handles.reserve(payloads.size());
+    for (wire::Buffer& payload : payloads) {
+      handles.push_back(arena_.intern(std::move(payload)));
+    }
+    return handles;
+  }
+
+  std::vector<Rewrite> rewrites_;
+  PayloadArena arena_;
+};
+
 /// The crashes the adversary commits for one round.
 class CrashPlan {
  public:
@@ -141,6 +215,19 @@ class Adversary {
   /// must be alive and distinct, and the total number of crashes across the
   /// run must stay within the configured budget t.
   virtual void schedule(const RoundView& view, CrashPlan& plan) = 0;
+
+  /// Byzantine hook: rewrites faulty senders' round-r traffic, per recipient
+  /// or for all recipients (see CorruptionPlan). Runs serially after
+  /// schedule(), on the same global snapshot. The engine validates the plan:
+  /// rewritten senders must be alive (crash and corruption are disjoint
+  /// faults for a given round) and the set of ever-corrupted senders must
+  /// stay within EngineConfig::max_byzantine. The default is a no-op —
+  /// crash-only adversaries corrupt nothing, so the entire Byzantine path is
+  /// dead code for them and crash-only runs stay bit-identical.
+  virtual void corrupt(const RoundView& view, CorruptionPlan& plan) {
+    (void)view;
+    (void)plan;
+  }
 };
 
 }  // namespace bil::sim

@@ -33,6 +33,8 @@ Engine::Engine(EngineConfig config,
               "process vector size must equal num_processes");
   BIL_REQUIRE(config_.max_crashes < config_.num_processes,
               "crash budget t must satisfy t < n");
+  BIL_REQUIRE(config_.max_byzantine < config_.num_processes,
+              "Byzantine budget f must satisfy f < n");
   for (const auto& process : processes_) {
     BIL_REQUIRE(process != nullptr, "null process");
   }
@@ -41,6 +43,7 @@ Engine::Engine(EngineConfig config,
   }
   status_.assign(config_.num_processes, Status::kAlive);
   outcomes_.assign(config_.num_processes, ProcessOutcome{});
+  byzantine_.assign(config_.num_processes, 0);
   final_delivery_.resize(config_.num_processes);
   outboxes_.resize(config_.num_processes);
 
@@ -131,6 +134,58 @@ void Engine::validate_and_apply(const CrashPlan& plan, RoundNumber round) {
   }
 }
 
+void Engine::validate_and_index_corruption(const CorruptionPlan& plan) {
+  for (const CorruptionPlan::Rewrite& rewrite : plan.rewrites()) {
+    BIL_REQUIRE(rewrite.sender < config_.num_processes,
+                "corrupted sender id out of range");
+    BIL_REQUIRE(status_[rewrite.sender] == Status::kAlive,
+                "adversary corrupted a process that is not alive this round");
+    if (byzantine_[rewrite.sender] == 0) {
+      BIL_REQUIRE(byzantine_so_far_ < config_.max_byzantine,
+                  "adversary exceeded its Byzantine budget f");
+      byzantine_[rewrite.sender] = 1;
+      ++byzantine_so_far_;
+      outcomes_[rewrite.sender].byzantine = true;
+    }
+    SenderRewrites& index = round_rewrites_[rewrite.sender];
+    if (rewrite.recipient == kNoProcess) {
+      BIL_REQUIRE(index.all_recipients == nullptr,
+                  "duplicate all-recipients rewrite for one sender");
+      index.all_recipients = &rewrite.payloads;
+    } else {
+      BIL_REQUIRE(rewrite.recipient < config_.num_processes,
+                  "rewrite recipient id out of range");
+      BIL_REQUIRE(rewrite.recipient != rewrite.sender,
+                  "rewrite recipient must differ from the sender: loopback "
+                  "does not traverse the wire");
+      BIL_REQUIRE(
+          index.per_recipient.emplace(rewrite.recipient, &rewrite.payloads)
+              .second,
+          "duplicate rewrite for one (sender, recipient) pair");
+    }
+  }
+}
+
+void Engine::receive_guarded(WorkerState& ws, ProcessId receiver,
+                             std::span<const Envelope> inbox,
+                             RoundNumber round) {
+  try {
+    processes_[receiver]->on_receive(round, inbox);
+  } catch (const wire::WireError&) {
+    // The process let malformed traffic escape as a WireError instead of
+    // handling it. Isolate the process (it falls silent like a crash, but
+    // the outcome records the distinct cause) rather than aborting the
+    // whole run. The status write targets this worker's own chunk id —
+    // the same safety argument as a recipient halting in on_receive.
+    status_[receiver] = Status::kQuarantined;
+    outcomes_[receiver].quarantined = true;
+    outcomes_[receiver].quarantine_round = round;
+    ++ws.malformed;
+    return;
+  }
+  note_progress(receiver, round);
+}
+
 void Engine::send_chunk(WorkerState& ws, std::size_t begin, std::size_t end,
                         RoundNumber round) {
   for (std::size_t id = begin; id < end; ++id) {
@@ -187,8 +242,7 @@ void Engine::deliver_chunk(WorkerState& ws,
     }
     if (!has_special || custom_recipient_[receiver] == 0) {
       ++ws.shared_recipients;
-      processes_[receiver]->on_receive(round, shared_view);
-      note_progress(receiver, round);
+      receive_guarded(ws, receiver, shared_view, round);
       continue;
     }
     ++ws.custom_recipients;
@@ -211,6 +265,30 @@ void Engine::deliver_chunk(WorkerState& ws,
           !final_delivery_[sender][receiver]) {
         continue;
       }
+      if (!round_rewrites_.empty() && receiver != sender) {
+        // Byzantine corruption: a per-recipient rewrite wins over the
+        // all-recipients one; either replaces the sender's original outbox
+        // wholesale for this recipient. The sender itself always sees its
+        // own original traffic (loopback does not traverse the wire).
+        const auto rewrites = round_rewrites_.find(sender);
+        if (rewrites != round_rewrites_.end()) {
+          const std::vector<const wire::Buffer*>* payloads =
+              rewrites->second.all_recipients;
+          const auto specific = rewrites->second.per_recipient.find(receiver);
+          if (specific != rewrites->second.per_recipient.end()) {
+            payloads = specific->second;
+          }
+          if (payloads != nullptr) {
+            for (const wire::Buffer* payload : *payloads) {
+              ws.custom_inbox.push_back(Envelope{sender, payload, &ws.cache});
+              const std::uint64_t size = payload->size();
+              row_bytes += size;
+              ws.max_payload = std::max(ws.max_payload, size);
+            }
+            continue;
+          }
+        }
+      }
       for (const OutboundMessage& message : outboxes_[sender].messages()) {
         if (message.broadcast || message.to == receiver) {
           ws.custom_inbox.push_back(
@@ -228,8 +306,7 @@ void Engine::deliver_chunk(WorkerState& ws,
     }
     ws.deliveries += ws.custom_inbox.size();
     ws.bytes += row_bytes;
-    processes_[receiver]->on_receive(round, ws.custom_inbox);
-    note_progress(receiver, round);
+    receive_guarded(ws, receiver, ws.custom_inbox, round);
   }
 }
 
@@ -258,11 +335,16 @@ void Engine::deliver_round(RoundNumber round) {
   std::uint64_t shared_max_payload = 0;
   for (ProcessId sender = 0; sender < n; ++sender) {
     const Outbox& outbox = outboxes_[sender];
-    if (outbox.empty()) {
+    const bool corrupted =
+        !round_rewrites_.empty() &&
+        round_rewrites_.find(sender) != round_rewrites_.end();
+    // A corrupted sender is always special, even with an empty outbox: its
+    // rewrites may fabricate traffic the sender never produced.
+    if (outbox.empty() && !corrupted) {
       continue;
     }
     const bool crashed = status_[sender] == Status::kCrashed;
-    bool shared = !crashed;
+    bool shared = !crashed && !corrupted;
     if (shared) {
       for (const OutboundMessage& message : outbox.messages()) {
         if (!message.broadcast) {
@@ -312,6 +394,16 @@ void Engine::deliver_round(RoundNumber round) {
     // crashed-this-round sender reaches exactly its delivery mask.
     custom_recipient_.assign(n, 0);
     for (ProcessId sender : special_senders_) {
+      if (!round_rewrites_.empty() &&
+          round_rewrites_.find(sender) != round_rewrites_.end()) {
+        // A corrupted sender's traffic is resolved per recipient in the
+        // merge loop (rewrites differ by recipient, and the sender itself
+        // must still see its original loopback), so everyone is custom.
+        for (ProcessId receiver = 0; receiver < n; ++receiver) {
+          custom_recipient_[receiver] = 1;
+        }
+        continue;
+      }
       const bool crashed = status_[sender] == Status::kCrashed;
       const std::vector<bool>* mask =
           crashed ? &final_delivery_[sender] : nullptr;
@@ -359,17 +451,23 @@ void Engine::deliver_round(RoundNumber round) {
   std::uint64_t custom_deliveries = 0;
   std::uint64_t custom_bytes = 0;
   std::uint64_t custom_max_payload = 0;
+  std::uint64_t malformed = 0;
   for (WorkerState& ws : workers_) {
     shared_recipients += ws.shared_recipients;
     custom_recipients += ws.custom_recipients;
     custom_deliveries += ws.deliveries;
     custom_bytes += ws.bytes;
     custom_max_payload = std::max(custom_max_payload, ws.max_payload);
+    malformed += ws.malformed;
     ws.shared_recipients = 0;
     ws.custom_recipients = 0;
     ws.deliveries = 0;
     ws.bytes = 0;
     ws.max_payload = 0;
+    ws.malformed = 0;
+  }
+  if (malformed > 0) {
+    metrics_.record_malformed(malformed);
   }
   if (custom_recipients > 0) {
     metrics_.record_deliveries(custom_deliveries, custom_bytes);
@@ -417,7 +515,14 @@ bool Engine::step() {
                          config_.max_crashes - crashes_so_far_);
     CrashPlan plan;
     adversary_->schedule(view, plan);
+    // Byzantine phase: same snapshot, after crash scheduling. The plan is
+    // validated against the post-crash status so a process cannot be both
+    // crashed and corrupted in one round.
+    corruption_plan_.clear();
+    round_rewrites_.clear();
+    adversary_->corrupt(view, corruption_plan_);
     validate_and_apply(plan, round);
+    validate_and_index_corruption(corruption_plan_);
   }
 
   deliver_round(round);
@@ -447,9 +552,14 @@ void validate_renaming(const RunResult& result, std::uint64_t namespace_size) {
   std::unordered_set<std::uint64_t> names;
   for (std::size_t id = 0; id < result.outcomes.size(); ++id) {
     const ProcessOutcome& outcome = result.outcomes[id];
-    if (outcome.crashed) {
-      continue;  // crashed processes owe nothing
+    if (outcome.crashed || outcome.byzantine) {
+      continue;  // faulty processes owe nothing
     }
+    BIL_REQUIRE(!outcome.quarantined,
+                "honest process " + std::to_string(id) +
+                    " was quarantined in round " +
+                    std::to_string(outcome.quarantine_round) +
+                    " (its validation layer let malformed traffic escape)");
     BIL_REQUIRE(outcome.decided, "termination violated: correct process " +
                                      std::to_string(id) + " did not decide");
     BIL_REQUIRE(outcome.name >= 1 && outcome.name <= namespace_size,

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/adversary.h"
@@ -42,6 +43,13 @@ struct EngineConfig {
   /// t — adversary's crash budget; must be < num_processes (the paper's
   /// t < n assumption: at least one process survives).
   std::uint32_t max_crashes = 0;
+  /// f — adversary's Byzantine budget: the maximum number of distinct
+  /// senders whose wire traffic may ever be rewritten (Adversary::corrupt);
+  /// must be < num_processes. A sender is charged against the budget the
+  /// first round it is corrupted and stays Byzantine for the rest of the
+  /// run (its outcome is flagged; validate_renaming excuses it). 0 (the
+  /// default) forbids corruption entirely — the crash-only model.
+  std::uint32_t max_byzantine = 0;
   /// Safety cap on rounds; 0 selects 16·n + 64, far above the deterministic
   /// O(n)-round termination bound (paper Lemma 11), so hitting the cap
   /// means a bug, not bad luck.
@@ -69,6 +77,19 @@ struct ProcessOutcome {
 
   bool halted = false;
   RoundNumber halt_round = 0;
+
+  /// The adversary rewrote this sender's wire traffic in some round. The
+  /// process object itself ran honest code (see sim::CorruptionPlan), but
+  /// to the rest of the system it behaved arbitrarily, so — like a crashed
+  /// process — it owes nothing: validate_renaming skips it.
+  bool byzantine = false;
+
+  /// A malformed payload escaped this process's on_receive as a WireError;
+  /// the engine isolated the process instead of aborting the run. An honest
+  /// process being quarantined is a protocol bug (its validation layer
+  /// should have swallowed the garbage), and validate_renaming fails on it.
+  bool quarantined = false;
+  RoundNumber quarantine_round = 0;
 
   bool operator==(const ProcessOutcome&) const = default;
 };
@@ -123,13 +144,21 @@ class Engine {
   [[nodiscard]] std::uint32_t crash_count() const noexcept {
     return crashes_so_far_;
   }
+  /// Distinct senders the adversary has corrupted so far (≤ max_byzantine).
+  [[nodiscard]] std::uint32_t byzantine_count() const noexcept {
+    return byzantine_so_far_;
+  }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
   /// Snapshot of the outcome state (valid at any point, incl. mid-run).
   [[nodiscard]] RunResult result() const;
 
  private:
-  enum class Status : std::uint8_t { kAlive, kHalted, kCrashed };
+  /// kQuarantined: a WireError escaped the process's on_receive (malformed
+  /// inbox it did not handle); the engine isolated it — like a crash, it
+  /// sends and receives nothing afterwards, but the outcome records the
+  /// distinct cause.
+  enum class Status : std::uint8_t { kAlive, kHalted, kCrashed, kQuarantined };
 
   /// Per-executor-thread state: scratch arenas so workers never share
   /// mutable memory, and metric shards reduced in chunk (= process-id)
@@ -152,15 +181,32 @@ class Engine {
     std::uint64_t max_payload = 0;
     std::uint64_t shared_recipients = 0;
     std::uint64_t custom_recipients = 0;
+    /// WireError escapes quarantined in this worker's chunk this round.
+    std::uint64_t malformed = 0;
+  };
+
+  /// Round-scoped O(1) lookup of one corrupted sender's rewrites, built
+  /// serially after the adversary phase from the validated CorruptionPlan
+  /// and read-only during the delivery fan-out. Pointers alias the plan's
+  /// entries (stable until the plan is cleared next round).
+  struct SenderRewrites {
+    /// Fallback for recipients without a per-recipient entry; null = those
+    /// recipients see the sender's original outbox.
+    const std::vector<const wire::Buffer*>* all_recipients = nullptr;
+    std::unordered_map<ProcessId, const std::vector<const wire::Buffer*>*>
+        per_recipient;
   };
 
   void validate_and_apply(const CrashPlan& plan, RoundNumber round);
+  void validate_and_index_corruption(const CorruptionPlan& plan);
   void send_phase(RoundNumber round);
   void deliver_round(RoundNumber round);
   void send_chunk(WorkerState& ws, std::size_t begin, std::size_t end,
                   RoundNumber round);
   void deliver_chunk(WorkerState& ws, std::span<const Envelope> shared_view,
                      std::size_t begin, std::size_t end, RoundNumber round);
+  void receive_guarded(WorkerState& ws, ProcessId receiver,
+                       std::span<const Envelope> inbox, RoundNumber round);
   void note_progress(ProcessId id, RoundNumber round);
   [[nodiscard]] bool protocol_running() const;
   /// True when this round's fan-outs go through the pool (num_threads > 1
@@ -201,6 +247,16 @@ class Engine {
   /// its inbox differs from the shared plan.
   std::vector<char> custom_recipient_;
 
+  // -- Byzantine corruption (Adversary::corrupt) ---------------------------
+  /// This round's rewrite plan; owns the replacement payloads (round-scoped
+  /// arena, cleared before each adversary phase).
+  CorruptionPlan corruption_plan_;
+  /// This round's validated rewrite index, keyed by corrupted sender.
+  /// Rebuilt serially each round; read-only during the delivery fan-out.
+  std::unordered_map<ProcessId, SenderRewrites> round_rewrites_;
+  /// Ever-corrupted flag per sender (sticky across rounds).
+  std::vector<char> byzantine_;
+
   // -- Intra-round parallel executor ---------------------------------------
   /// One WorkerState per executor thread (exactly one when serial); the
   /// pool exists only when the resolved thread count exceeds one.
@@ -210,13 +266,17 @@ class Engine {
   Metrics metrics_;
   RoundNumber next_round_ = 0;
   std::uint32_t crashes_so_far_ = 0;
+  std::uint32_t byzantine_so_far_ = 0;
 };
 
 /// Checks the three renaming properties (paper §3) over a finished run:
 /// every correct process decided (termination), names lie in [1, n]
 /// (validity; `namespace_size` = n for tight renaming), and no two correct
-/// processes share a name (uniqueness). Throws ContractViolation with a
-/// diagnostic message on the first violated property.
+/// processes share a name (uniqueness). Crashed and Byzantine processes owe
+/// nothing and are skipped; a quarantined *honest* process is always a
+/// violation (its validation layer should have contained the malformed
+/// traffic). Throws ContractViolation with a diagnostic message on the
+/// first violated property.
 void validate_renaming(const RunResult& result, std::uint64_t namespace_size);
 
 }  // namespace bil::sim

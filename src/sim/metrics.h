@@ -36,6 +36,12 @@ struct Metrics {
   std::uint64_t total_bytes_delivered = 0;
   /// Largest single payload observed, in bytes.
   std::uint64_t max_payload_bytes = 0;
+  /// WireError escapes from on_receive: each count is one recipient whose
+  /// inbox decode failed *unhandled* and was quarantined by the engine
+  /// (sim/engine.h). Algorithms with a validation layer swallow malformed
+  /// payloads themselves (the sender just looks silent), so this stays 0
+  /// for them even under payload-corrupting Byzantine adversaries.
+  std::uint64_t malformed_payloads = 0;
 
   void record_send(std::uint64_t count) {
     per_round.back().sends += count;
@@ -66,6 +72,10 @@ struct Metrics {
       max_payload_bytes = payload_bytes;
     }
   }
+
+  /// Counts quarantine events (folded from per-worker shards; an integer
+  /// sum, so thread-count invariant like every other counter).
+  void record_malformed(std::uint64_t count) { malformed_payloads += count; }
 
   void begin_round() { per_round.emplace_back(); }
 

@@ -168,13 +168,18 @@ TEST(EngineParallel, EveryAlgorithmEveryAdversaryIsThreadCountInvariant) {
   api::AdversaryKnobs knobs;
   knobs.crashes = kN / 4;
   knobs.per_round = 2;
+  knobs.byzantine = kN / 8;
+  // Bound the equivocator: unbounded per-recipient path forgery defers
+  // honest termination indefinitely (core/byzantine_adversary.h).
+  knobs.byzantine_rounds = 6;
   for (const api::AlgorithmInfo& algorithm : api::algorithm_registry()) {
     for (const api::AdversaryInfo& adversary : api::adversary_registry()) {
       const bool tree_only =
           adversary.kind == harness::AdversaryKind::kSandwich ||
           adversary.kind == harness::AdversaryKind::kEager ||
           adversary.kind == harness::AdversaryKind::kTargetedWinner ||
-          adversary.kind == harness::AdversaryKind::kTargetedAnnouncer;
+          adversary.kind == harness::AdversaryKind::kTargetedAnnouncer ||
+          adversary.fault_model == "byzantine";
       if (tree_only && !algorithm.fast_sim_capable) {
         continue;  // tree adversaries require a tree-based algorithm
       }

@@ -1,5 +1,9 @@
 // Unit tests for the wire serialization module: round-trips, varint edge
-// cases, and bounds-checked decoding of malformed buffers.
+// cases, and bounds-checked decoding of malformed buffers — plus a seeded
+// mutational fuzzer driving hostile buffers through the codec (the Byzantine
+// corruption adversaries deliver exactly this kind of traffic at runtime, so
+// "malformed input always raises a clean WireError" is a load-bearing
+// engine invariant, not just codec hygiene).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -7,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/messages.h"
+#include "util/rng.h"
 #include "wire/wire.h"
 
 namespace bil::wire {
@@ -212,6 +218,128 @@ TEST(Wire, WriterReserveDoesNotAffectContents) {
   small.u64(42);
   reserved.u64(42);
   EXPECT_EQ(std::move(small).take(), std::move(reserved).take());
+}
+
+// -- Mutational fuzzing ------------------------------------------------------
+//
+// The contract under test: feeding *any* byte sequence to decode_message (or
+// to Reader primitives) either succeeds or throws WireError — never crashes,
+// reads out of bounds, or lets a different exception escape. The engine's
+// quarantine backstop and the decode cache's null-memoization both rely on
+// WireError being the only failure channel. Run under the ASan/UBSan CI job,
+// this doubles as a memory-safety sweep of the decoder.
+
+namespace fuzz {
+
+/// One seeded, deterministic mutation of `buffer` in place.
+void mutate(Buffer& buffer, Rng& rng) {
+  switch (rng.below(5)) {
+    case 0:  // bit flip
+      if (!buffer.empty()) {
+        const std::size_t bit = rng.below(buffer.size() * 8);
+        buffer[bit / 8] ^=
+            static_cast<std::byte>(std::uint8_t{1} << (bit % 8));
+      }
+      break;
+    case 1:  // truncate
+      buffer.resize(rng.below(buffer.size() + 1));
+      break;
+    case 2:  // overwrite a byte (0xFF biased: max varint continuation)
+      if (!buffer.empty()) {
+        buffer[rng.below(buffer.size())] = rng.bernoulli_ratio(1, 2)
+                                               ? std::byte{0xFF}
+                                               : std::byte{static_cast<
+                                                     std::uint8_t>(
+                                                     rng.below(256))};
+      }
+      break;
+    case 3:  // insert a byte (shifts everything after — a length lie for any
+             // preceding count prefix)
+      buffer.insert(
+          buffer.begin() + static_cast<std::ptrdiff_t>(
+                               rng.below(buffer.size() + 1)),
+          std::byte{static_cast<std::uint8_t>(rng.below(256))});
+      break;
+    default:  // append junk
+      for (std::uint64_t i = rng.between(1, 4); i > 0; --i) {
+        buffer.push_back(std::byte{static_cast<std::uint8_t>(rng.below(256))});
+      }
+      break;
+  }
+}
+
+/// True when decode either succeeded or failed with a clean WireError.
+template <typename Fn>
+bool decodes_cleanly(Fn&& decode) {
+  try {
+    decode();
+    return true;
+  } catch (const WireError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace fuzz
+
+TEST(WireFuzz, MutatedMessagesAlwaysFailCleanly) {
+  // Corpus: one valid encoding of each message type, values chosen to hit
+  // multi-byte varint groups.
+  const std::vector<Buffer> corpus = {
+      core::encode_message(core::InitMsg{0}),
+      core::encode_message(core::InitMsg{std::uint64_t{1} << 60}),
+      core::encode_message(core::PathMsg{12345, 0, 300}),
+      core::encode_message(core::PathMsg{200, 17, 17}),
+      core::encode_message(core::PositionMsg{7, 511}),
+      core::encode_message(
+          core::PositionMsg{std::numeric_limits<std::uint64_t>::max(), 1}),
+  };
+  Rng rng(0xF0221);
+  constexpr int kIterations = 100000;
+  for (int i = 0; i < kIterations; ++i) {
+    Buffer buffer = corpus[rng.below(corpus.size())];
+    for (std::uint64_t m = rng.between(1, 4); m > 0; --m) {
+      fuzz::mutate(buffer, rng);
+    }
+    ASSERT_TRUE(fuzz::decodes_cleanly(
+        [&] { (void)core::decode_message(buffer); }))
+        << "iteration " << i << ": non-WireError escaped decode_message";
+  }
+}
+
+TEST(WireFuzz, RandomBuffersThroughReaderPrimitives) {
+  Rng rng(0xF0222);
+  constexpr int kIterations = 20000;
+  for (int i = 0; i < kIterations; ++i) {
+    Buffer buffer(rng.below(32));
+    for (std::byte& b : buffer) {
+      b = std::byte{static_cast<std::uint8_t>(rng.below(256))};
+    }
+    ASSERT_TRUE(fuzz::decodes_cleanly([&] {
+      Reader reader(buffer);
+      switch (rng.below(6)) {
+        case 0:
+          (void)reader.varint();
+          break;
+        case 1:
+          (void)reader.str();
+          break;
+        case 2:
+          (void)reader.bytes();
+          break;
+        case 3:
+          (void)reader.seq([](Reader& r) { return r.varint(); });
+          break;
+        case 4:
+          (void)reader.u64();
+          break;
+        default:
+          (void)reader.boolean();
+          break;
+      }
+    })) << "iteration " << i << ": non-WireError escaped Reader";
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 // the result prints as an aligned table, CSV, or JSON. Algorithm and
 // adversary names come from the api registry — the same tables that back
 // --list-algorithms / --list-adversaries.
+#include <algorithm>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -54,6 +55,34 @@ void list_registry(std::ostream& os, const char* heading,
       os << " (" << alias << ')';
     }
     os << "\n      " << info.description << '\n';
+  }
+}
+
+/// --list-adversaries: grouped by fault model, with the fast-sim capability
+/// spelled out per entry (the byzantine kinds need --backend engine).
+void list_adversaries_grouped(std::ostream& os) {
+  os << "registered adversaries:\n";
+  std::vector<std::string> fault_models;
+  for (const api::AdversaryInfo& info : api::adversary_registry()) {
+    if (std::find(fault_models.begin(), fault_models.end(),
+                  info.fault_model) == fault_models.end()) {
+      fault_models.push_back(info.fault_model);
+    }
+  }
+  for (const std::string& model : fault_models) {
+    os << "\nfault model: " << model << '\n';
+    for (const api::AdversaryInfo& info : api::adversary_registry()) {
+      if (info.fault_model != model) {
+        continue;
+      }
+      os << "  " << info.name;
+      for (const std::string& alias : info.aliases) {
+        os << " (" << alias << ')';
+      }
+      os << "  [fast-sim: "
+         << (info.fast_sim_capable ? "yes" : "no — engine only") << "]\n"
+         << "      " << info.description << '\n';
+    }
   }
 }
 
@@ -183,6 +212,8 @@ int main(int argc, char** argv) {
   std::uint32_t burst_round = 1;
   std::uint32_t horizon = 8;
   std::uint32_t per_round = 2;
+  std::uint32_t byzantine = 0;
+  std::uint32_t byzantine_rounds = 0;
   std::string backend = "auto";
   std::string churn;
   std::uint32_t churn_rounds = 4096;
@@ -217,6 +248,12 @@ int main(int argc, char** argv) {
                    "crash-round horizon for --adversary=oblivious");
   flags.add_uint32("per-round", &per_round,
                    "victims per firing round (sandwich/eager/targeted)");
+  flags.add_uint32("byzantine", &byzantine,
+                   "Byzantine budget f for the byzantine-* adversaries "
+                   "(wire-corrupting senders; engine backend only)");
+  flags.add_uint32("byzantine-rounds", &byzantine_rounds,
+                   "corrupting-round window for the byzantine-* adversaries "
+                   "(0 = unbounded; cap the equivocator)");
   flags.add_string("backend", &backend,
                    "auto|engine|fast-sim (auto: fast single-view simulator "
                    "for large tree cells, crash-free or under a "
@@ -271,8 +308,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (list_adversaries) {
-      list_registry(std::cout, "registered adversaries:",
-                    api::adversary_registry());
+      list_adversaries_grouped(std::cout);
       return 0;
     }
 
@@ -295,7 +331,9 @@ int main(int argc, char** argv) {
         api::AdversaryKnobs{.crashes = crashes,
                             .when = burst_round,
                             .horizon = horizon,
-                            .per_round = per_round})};
+                            .per_round = per_round,
+                            .byzantine = byzantine,
+                            .byzantine_rounds = byzantine_rounds})};
     BIL_REQUIRE(seeds >= 1, "--seeds must be at least 1");
     BIL_REQUIRE(horizon >= 1, "--horizon must be at least 1");
     spec.seeds = seeds;
