@@ -20,6 +20,7 @@ std::vector<AlgorithmInfo> build_algorithm_registry() {
        .aliases = {"bil"},
        .description =
            "Balls-into-Leaves, Algorithm 1 (randomized, O(log log n) w.h.p.)",
+       .family = "tree",
        .fast_sim_capable = true,
        .policy = core::PathPolicy::kRandomWeighted});
   entries.push_back(
@@ -28,6 +29,7 @@ std::vector<AlgorithmInfo> build_algorithm_registry() {
        .aliases = {"early"},
        .description = "§6 early-terminating extension (deterministic phase 1, "
                       "then random)",
+       .family = "tree",
        .fast_sim_capable = true,
        .policy = core::PathPolicy::kEarlyTerminating});
   entries.push_back(
@@ -36,6 +38,7 @@ std::vector<AlgorithmInfo> build_algorithm_registry() {
        .aliases = {"rank"},
        .description = "deterministic rank-indexed descent every phase (§6's "
                       "deterministic scheme)",
+       .family = "tree",
        .fast_sim_capable = true,
        .policy = core::PathPolicy::kRankedSlack});
   entries.push_back(
@@ -44,6 +47,7 @@ std::vector<AlgorithmInfo> build_algorithm_registry() {
        .aliases = {},
        .description = "deterministic one-level-per-phase halving (Θ(log n); "
                       "the Chaudhuri–Herlihy–Tuttle class)",
+       .family = "tree",
        .fast_sim_capable = true,
        .policy = core::PathPolicy::kHalvingSplit});
   entries.push_back(
@@ -52,6 +56,7 @@ std::vector<AlgorithmInfo> build_algorithm_registry() {
        .aliases = {},
        .description = "flooding agreement on the id set; t+1 rounds (linear "
                       "baseline)",
+       .family = "gossip",
        .fast_sim_capable = false});
   entries.push_back(
       {.algorithm = Algorithm::kNaiveBins,
@@ -59,6 +64,15 @@ std::vector<AlgorithmInfo> build_algorithm_registry() {
        .aliases = {"bins"},
        .description = "tree-free random claims with retry (naive "
                       "balls-into-bins baseline)",
+       .family = "bins",
+       .fast_sim_capable = false});
+  entries.push_back(
+      {.algorithm = Algorithm::kSplitterNet,
+       .name = harness::to_string(Algorithm::kSplitterNet),
+       .aliases = {"splitter"},
+       .description = "Moir–Anderson splitter-network grid adapted to "
+                      "message passing (Θ(n) rounds, Θ((n+t)²) namespace)",
+       .family = "splitter",
        .fast_sim_capable = false});
   return entries;
 }

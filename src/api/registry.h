@@ -46,6 +46,10 @@ struct AlgorithmInfo {
   /// Short CLI aliases ("bil", "early", ...). Also parseable.
   std::vector<std::string> aliases;
   std::string description;
+  /// Construction family, for grouping in --list-algorithms: "tree" (the
+  /// balls-into-leaves descent variants), "gossip" (flooding agreement),
+  /// "bins" (blind random claims), or "splitter" (the Moir–Anderson grid).
+  std::string family = "tree";
   /// True for the tree-descent algorithms the fast single-view simulator
   /// can execute (everything except the gossip / naive-bins baselines).
   bool fast_sim_capable = false;

@@ -1,0 +1,87 @@
+#include "baselines/splitter_net.h"
+
+#include "sim/decode_cache.h"
+#include "util/contract.h"
+#include "wire/wire.h"
+
+namespace bil::baselines {
+
+namespace {
+
+constexpr std::uint8_t kAtMsgType = 1;
+
+struct AtMsg {
+  sim::Label label;
+  std::uint32_t right;
+  std::uint32_t down;
+};
+
+wire::Buffer encode_at_msg(const AtMsg& msg) {
+  wire::Writer writer(1 + wire::varint_size(msg.label) +
+                      wire::varint_size(msg.right) +
+                      wire::varint_size(msg.down));
+  writer.u8(kAtMsgType);
+  writer.varint(msg.label);
+  writer.varint(msg.right);
+  writer.varint(msg.down);
+  return std::move(writer).take();
+}
+
+AtMsg decode_at_msg(std::span<const std::byte> bytes) {
+  wire::Reader reader(bytes);
+  if (reader.u8() != kAtMsgType) {
+    throw wire::WireError("unknown splitter message type");
+  }
+  AtMsg msg{};
+  msg.label = reader.varint();
+  msg.right = static_cast<std::uint32_t>(reader.varint());
+  msg.down = static_cast<std::uint32_t>(reader.varint());
+  reader.expect_done();
+  return msg;
+}
+
+}  // namespace
+
+SplitterNetProcess::SplitterNetProcess(Options options) : options_(options) {
+  BIL_REQUIRE(options_.n >= 1, "need at least one process");
+}
+
+void SplitterNetProcess::on_send(sim::RoundNumber /*round*/,
+                                 sim::Outbox& out) {
+  out.broadcast(encode_at_msg({options_.label, right_, down_}));
+}
+
+void SplitterNetProcess::on_receive(sim::RoundNumber /*round*/,
+                                    std::span<const sim::Envelope> inbox) {
+  // Collect the labels seen at this process's own splitter. A stale entry
+  // from a crashed process counts: it can demote this process from a right
+  // move to a down move (conservative), never promote it.
+  bool alone = true;
+  bool is_min = true;
+  AtMsg scratch{};
+  for (const sim::Envelope& envelope : inbox) {
+    const AtMsg* msg = sim::decode_cached(envelope, scratch, &decode_at_msg);
+    if (msg == nullptr || msg->right != right_ || msg->down != down_ ||
+        msg->label == options_.label) {
+      continue;
+    }
+    alone = false;
+    if (msg->label < options_.label) {
+      is_min = false;
+    }
+  }
+  if (alone) {
+    // The splitter property: nobody else is here, so this splitter's name
+    // is this process's alone.
+    decide(splitter_name(right_, down_));
+    halt();
+    return;
+  }
+  if (is_min) {
+    ++right_;
+  } else {
+    ++down_;
+  }
+}
+
+}  // namespace bil::baselines

@@ -1,0 +1,91 @@
+// Moir–Anderson splitter-network renaming, adapted to synchronous
+// message passing (the classic grid construction of "Slightly Smaller
+// Splitter Networks" / Moir–Anderson, PAPERS.md).
+//
+// The shared-memory original routes each process through a triangular grid
+// of splitters: at every splitter a process either *stops* (acquiring that
+// splitter's name), moves *right*, or moves *down*, with the guarantee that
+// no two processes stop at the same splitter. The message-passing
+// adaptation keeps the grid and replaces the splitter's register magic with
+// one broadcast round per grid step:
+//
+//   * every undecided process at splitter (r, d) broadcasts At⟨label, r, d⟩;
+//   * on receipt it collects the labels seen at its own splitter:
+//       - alone (no other At for (r, d))          → stop: decide the
+//         splitter's triangular-grid name, halt;
+//       - its label is the minimum seen there     → move right to (r+1, d);
+//       - otherwise                               → move down  to (r, d+1).
+//
+// Safety is the splitter property transplanted to broadcast rounds: two
+// *correct* processes at the same splitter always receive each other's
+// At-messages (crashes only affect the victim's own final broadcast), so at
+// most one of them can read "alone" or "minimum" — at most one process ever
+// stops at, or exits right from, a splitter. All processes at a splitter
+// share a round (every step moves one grid diagonal per round), so each
+// splitter is visited exactly once and the stop names are unique. A crashed
+// process's partially-delivered final broadcast only *adds* a stale label
+// to some views for one round, which can demote a would-be right-mover to a
+// down-mover — never promote two.
+//
+// Cost: Θ(n) rounds (one process peels right and stops per round in the
+// failure-free run) and a Θ((n + t)²) namespace — the grid diagonal reached
+// grows with n plus crash-induced detours, in sharp contrast with
+// Balls-into-Leaves' O(log log n) rounds into a tight namespace of n. This
+// is the separation the `splitter-separation` report claim measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/process.h"
+#include "sim/types.h"
+
+namespace bil::baselines {
+
+class SplitterNetProcess final : public sim::ProcessBase {
+ public:
+  struct Options {
+    /// Number of participating processes (grid sizing / sanity only).
+    std::uint32_t n = 0;
+    sim::Label label = 0;
+  };
+
+  explicit SplitterNetProcess(Options options);
+
+  void on_send(sim::RoundNumber round, sim::Outbox& out) override;
+  void on_receive(sim::RoundNumber round,
+                  std::span<const sim::Envelope> inbox) override;
+
+  /// Current grid position (right-moves, down-moves).
+  [[nodiscard]] std::uint32_t right() const noexcept { return right_; }
+  [[nodiscard]] std::uint32_t down() const noexcept { return down_; }
+
+  /// 1-based triangular-grid name of splitter (r, d): splitters are
+  /// enumerated along anti-diagonals, so every grid coordinate maps to a
+  /// distinct name regardless of how deep the run goes.
+  [[nodiscard]] static std::uint64_t splitter_name(std::uint32_t r,
+                                                   std::uint32_t d) noexcept {
+    const std::uint64_t diag = std::uint64_t{r} + d;
+    return diag * (diag + 1) / 2 + d + 1;
+  }
+
+  /// Upper bound on the names a run with `n` processes and crash budget `t`
+  /// can assign (the namespace size handed to sim::validate_renaming).
+  /// Every process stops within diagonal n + 2t + 2: down-moves are bounded
+  /// by the processes and one-round crash ghosts ranked ahead of it, and
+  /// right-moves by the splitter property (one right exit per splitter,
+  /// extra collisions only from crash detours). The bound is deliberately
+  /// padded — Θ((n + t)²), the Moir–Anderson grid asymptotics.
+  [[nodiscard]] static std::uint64_t namespace_bound(
+      std::uint32_t n, std::uint32_t crashes) noexcept {
+    const std::uint64_t diag = std::uint64_t{n} + 2 * std::uint64_t{crashes} + 2;
+    return diag * (diag + 1) / 2 + diag + 1;  // deepest diagonal, largest d
+  }
+
+ private:
+  Options options_;
+  std::uint32_t right_ = 0;
+  std::uint32_t down_ = 0;
+};
+
+}  // namespace bil::baselines

@@ -34,5 +34,15 @@ inline constexpr std::uint64_t kSeedDomainServiceInstance = 7;
 /// stream k — a separate domain from kSeedDomainAdversary so adding wire
 /// corruption to a run never perturbs the crash schedule it rides on.
 inline constexpr std::uint64_t kSeedDomainByzantine = 8;
+/// derive_seed(search_seed, kSeedDomainSearch, k) seeds the adversary-search
+/// optimizers (src/search/): mutation/restart stream k. A separate domain
+/// from kSeedDomainAdversary so the search's own coin flips never collide
+/// with the RNG stream a candidate schedule replays with.
+inline constexpr std::uint64_t kSeedDomainSearch = 9;
+/// derive_seed(run_seed, kSeedDomainSplitter, id) is reserved for the
+/// splitter-network baseline's per-process stream (the current
+/// deterministic splitter consumes no coins, but the domain is pinned so a
+/// future randomized variant cannot collide with kSeedDomainProcess).
+inline constexpr std::uint64_t kSeedDomainSplitter = 10;
 
 }  // namespace bil::core

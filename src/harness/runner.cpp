@@ -5,6 +5,7 @@
 
 #include "baselines/gossip.h"
 #include "baselines/naive_bins.h"
+#include "baselines/splitter_net.h"
 #include "core/byzantine_adversary.h"
 #include "core/seeds.h"
 #include "core/targeted_adversary.h"
@@ -28,6 +29,8 @@ const char* to_string(Algorithm algorithm) noexcept {
       return "gossip";
     case Algorithm::kNaiveBins:
       return "naive-bins";
+    case Algorithm::kSplitterNet:
+      return "splitter-net";
   }
   return "unknown";
 }
@@ -77,6 +80,55 @@ core::PathPolicy policy_for(Algorithm algorithm) {
 }
 
 }  // namespace
+
+std::vector<std::unique_ptr<sim::ProcessBase>> make_processes(
+    const RunConfig& config,
+    const std::shared_ptr<const tree::TreeShape>& shape,
+    core::RecordingObserver* observer) {
+  std::vector<std::unique_ptr<sim::ProcessBase>> processes;
+  processes.reserve(config.n);
+  const bool byzantine = config.adversary.byzantine > 0;
+  for (sim::ProcessId id = 0; id < config.n; ++id) {
+    const sim::Label label = config.label_offset + config.label_stride * id;
+    const std::uint64_t seed =
+        derive_seed(config.seed, core::kSeedDomainProcess, id);
+    switch (config.algorithm) {
+      case Algorithm::kGossip: {
+        const std::uint32_t t =
+            config.gossip_t == kWaitFree ? config.n - 1 : config.gossip_t;
+        processes.push_back(std::make_unique<baselines::GossipRenamingProcess>(
+            baselines::GossipRenamingProcess::Options{.label = label,
+                                                      .max_crashes = t}));
+        break;
+      }
+      case Algorithm::kNaiveBins:
+        processes.push_back(std::make_unique<baselines::NaiveBinsProcess>(
+            baselines::NaiveBinsProcess::Options{
+                .num_bins = config.n, .label = label, .seed = seed}));
+        break;
+      case Algorithm::kSplitterNet:
+        processes.push_back(std::make_unique<baselines::SplitterNetProcess>(
+            baselines::SplitterNetProcess::Options{.n = config.n,
+                                                   .label = label}));
+        break;
+      default:
+        processes.push_back(
+            std::make_unique<core::BallsIntoLeavesProcess>(
+                core::BallsIntoLeavesProcess::Options{
+                    .num_names = config.n,
+                    .label = label,
+                    .seed = seed,
+                    .policy = policy_for(config.algorithm),
+                    .termination = config.termination,
+                    .shape = shape,
+                    .observer =
+                        id == config.n - 1 ? observer : nullptr,
+                    .tolerate_byzantine = byzantine}));
+        break;
+    }
+  }
+  return processes;
+}
 
 std::unique_ptr<sim::Adversary> make_adversary(
     const AdversarySpec& spec, std::uint32_t n, std::uint64_t run_seed,
@@ -209,44 +261,8 @@ RunSummary run_renaming(const RunConfig& config) {
   }
 
   core::RecordingObserver observer;
-  std::vector<std::unique_ptr<sim::ProcessBase>> processes;
-  processes.reserve(config.n);
-  for (sim::ProcessId id = 0; id < config.n; ++id) {
-    const sim::Label label =
-        config.label_offset + config.label_stride * id;
-    const std::uint64_t seed =
-        derive_seed(config.seed, core::kSeedDomainProcess, id);
-    switch (config.algorithm) {
-      case Algorithm::kGossip: {
-        const std::uint32_t t =
-            config.gossip_t == kWaitFree ? config.n - 1 : config.gossip_t;
-        processes.push_back(std::make_unique<baselines::GossipRenamingProcess>(
-            baselines::GossipRenamingProcess::Options{.label = label,
-                                                      .max_crashes = t}));
-        break;
-      }
-      case Algorithm::kNaiveBins:
-        processes.push_back(std::make_unique<baselines::NaiveBinsProcess>(
-            baselines::NaiveBinsProcess::Options{
-                .num_bins = config.n, .label = label, .seed = seed}));
-        break;
-      default:
-        processes.push_back(
-            std::make_unique<core::BallsIntoLeavesProcess>(
-                core::BallsIntoLeavesProcess::Options{
-                    .num_names = config.n,
-                    .label = label,
-                    .seed = seed,
-                    .policy = policy_for(config.algorithm),
-                    .termination = config.termination,
-                    .shape = shape,
-                    .observer = (config.observe && id == config.n - 1)
-                                    ? &observer
-                                    : nullptr,
-                    .tolerate_byzantine = byzantine}));
-        break;
-    }
-  }
+  std::vector<std::unique_ptr<sim::ProcessBase>> processes =
+      make_processes(config, shape, config.observe ? &observer : nullptr);
 
   sim::Engine engine(
       sim::EngineConfig{.num_processes = config.n,
@@ -258,7 +274,14 @@ RunSummary run_renaming(const RunConfig& config) {
       std::move(processes),
       make_adversary(config.adversary, config.n, config.seed, shape));
   sim::RunResult result = engine.run();
-  sim::validate_renaming(result, config.n);
+  // The splitter network renames into its grid's Θ((n+t)²) namespace, not
+  // the tight 1..n namespace the tree algorithms and bins target.
+  const std::uint64_t namespace_size =
+      config.algorithm == Algorithm::kSplitterNet
+          ? baselines::SplitterNetProcess::namespace_bound(
+                config.n, config.adversary.crashes)
+          : config.n;
+  sim::validate_renaming(result, namespace_size);
 
   RunSummary summary;
   summary.completed = result.completed;

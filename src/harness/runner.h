@@ -32,6 +32,10 @@ enum class Algorithm : std::uint8_t {
   kGossip,
   /// Tree-free random claims with retry (naive balls-into-bins baseline).
   kNaiveBins,
+  /// Moir–Anderson splitter-network grid adapted to message passing
+  /// (Θ(n) rounds into a Θ((n+t)²) namespace; the classic renaming
+  /// construction the separation claims compare against).
+  kSplitterNet,
 };
 
 [[nodiscard]] const char* to_string(Algorithm algorithm) noexcept;
@@ -138,6 +142,18 @@ struct RunSummary {
 /// properties; throws ContractViolation if the run violates them or fails
 /// to complete within the round cap.
 [[nodiscard]] RunSummary run_renaming(const RunConfig& config);
+
+/// Builds the process vector run_renaming would hand the engine for this
+/// config: the construction run_renaming itself uses, exposed so the
+/// adversary-search evaluator (src/search/evaluate.h) can drive custom
+/// adversary objects through byte-identical processes. `shape` must be
+/// tree::TreeShape::make(config.n) for the tree-based algorithms and null
+/// otherwise; `observer`, when non-null, attaches to the highest-id
+/// process (the config.observe wiring).
+[[nodiscard]] std::vector<std::unique_ptr<sim::ProcessBase>> make_processes(
+    const RunConfig& config,
+    const std::shared_ptr<const tree::TreeShape>& shape,
+    core::RecordingObserver* observer = nullptr);
 
 /// Builds the adversary a run with this spec would face: the factory
 /// run_renaming itself uses, exposed so the crash-capable fast simulator

@@ -102,6 +102,19 @@ PresetSpec rounds_vs_n_preset() {
   bins.backend = api::BackendKind::kEngine;
   preset.series.push_back(bins);
 
+  // The classic grid-of-splitters construction (Moir–Anderson), adapted to
+  // message passing: deterministic and wait-free, but Θ(n) rounds (one
+  // anti-diagonal per round — exactly n failure-free) into a Θ((n+t)²)
+  // namespace. The starkest separation in the plot: linear, against
+  // gossip's log n and BiL's log log n.
+  SeriesSpec splitter;
+  splitter.label = "splitter-net";
+  splitter.algorithm = Algorithm::kSplitterNet;
+  splitter.n_values = pow2_grid(4, 7);
+  splitter.seeds = 1;  // deterministic
+  splitter.backend = api::BackendKind::kEngine;
+  preset.series.push_back(splitter);
+
   preset.claims.push_back(
       {.name = "bil-loglog-shape",
        .statement =
@@ -148,6 +161,29 @@ PresetSpec rounds_vs_n_preset() {
        .min_r2 = 0.999,
        .lo = 1.95,
        .hi = 2.05});
+  preset.claims.push_back(
+      {.name = "splitter-linear-shape",
+       .statement =
+           "The Moir–Anderson splitter network walks one grid anti-diagonal "
+           "per round: exactly n rounds failure-free (power-law exponent "
+           "1 — the Theta(n) class).",
+       .kind = ClaimKind::kPowerExponentBand,
+       .series = "splitter-net",
+       .min_r2 = 0.999,
+       .lo = 0.95,
+       .hi = 1.05});
+  preset.claims.push_back(
+      {.name = "bil-sublog-vs-splitter",
+       .statement =
+           "Balls-into-Leaves grows strictly slower than the splitter "
+           "network's linear fit — the doubly-exponential separation "
+           "between the paper's O(log log n) and the classic wait-free "
+           "splitter construction (which also pays a Theta((n+t)^2) "
+           "namespace; §1's loose-renaming contrast).",
+       .kind = ClaimKind::kSlowerThan,
+       .series = "balls-into-leaves",
+       .reference = "splitter-net",
+       .factor = 0.1});
   return preset;
 }
 
@@ -917,6 +953,14 @@ PresetSpec ci_preset() {
   two_choice.two_choice = true;
   preset.series.push_back(two_choice);
 
+  SeriesSpec splitter;
+  splitter.label = "splitter-net";
+  splitter.algorithm = Algorithm::kSplitterNet;
+  splitter.n_values = {16, 64};
+  splitter.seeds = 1;
+  splitter.backend = api::BackendKind::kEngine;
+  preset.series.push_back(splitter);
+
   // Reduced crash-at-scale cells: kAuto routes n = 256 to the exact engine
   // and n = 8192 to the crash-capable fast backend, so the CI drift gate
   // exercises both crash executors (and the routing threshold) every push.
@@ -1004,6 +1048,25 @@ PresetSpec ci_preset() {
        .statement = "Parallel two-choice never yields a renaming.",
        .kind = ClaimKind::kAlwaysColliding,
        .series = "two-choice"});
+  preset.claims.push_back(
+      {.name = "ci-splitter-linear-shape",
+       .statement =
+           "The splitter network is exactly n rounds failure-free "
+           "(power-law exponent 1) on the reduced grid.",
+       .kind = ClaimKind::kPowerExponentBand,
+       .series = "splitter-net",
+       .min_r2 = 0.99,
+       .lo = 0.95,
+       .hi = 1.05});
+  preset.claims.push_back(
+      {.name = "ci-bil-sublog-vs-splitter",
+       .statement =
+           "Balls-into-Leaves grows strictly slower than the splitter "
+           "network's linear fit, already visible on the reduced grid.",
+       .kind = ClaimKind::kSlowerThan,
+       .series = "balls-into-leaves",
+       .reference = "splitter-net",
+       .factor = 0.2});
   preset.claims.push_back(
       {.name = "ci-crash-budget-spent",
        .statement =

@@ -143,6 +143,24 @@ TEST(Registry, FastSimCapabilityMatchesTreeAlgorithms) {
   EXPECT_TRUE(api::parse_algorithm("halving").fast_sim_capable);
   EXPECT_FALSE(api::parse_algorithm("gossip").fast_sim_capable);
   EXPECT_FALSE(api::parse_algorithm("bins").fast_sim_capable);
+  EXPECT_FALSE(api::parse_algorithm("splitter").fast_sim_capable);
+}
+
+TEST(Registry, FamiliesGroupAlgorithmsByConstruction) {
+  // The family column (bil_run --list-algorithms) classifies each entry by
+  // its construction: the four tree policies, and one family per baseline.
+  EXPECT_EQ(api::parse_algorithm("bil").family, "tree");
+  EXPECT_EQ(api::parse_algorithm("early").family, "tree");
+  EXPECT_EQ(api::parse_algorithm("rank").family, "tree");
+  EXPECT_EQ(api::parse_algorithm("halving").family, "tree");
+  EXPECT_EQ(api::parse_algorithm("gossip").family, "gossip");
+  EXPECT_EQ(api::parse_algorithm("bins").family, "bins");
+  EXPECT_EQ(api::parse_algorithm("splitter").family, "splitter");
+  for (const api::AlgorithmInfo& info : api::algorithm_registry()) {
+    EXPECT_TRUE(info.family == "tree" || info.family == "gossip" ||
+                info.family == "bins" || info.family == "splitter")
+        << info.name << " has unknown family '" << info.family << "'";
+  }
 }
 
 }  // namespace

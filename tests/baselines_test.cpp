@@ -1,10 +1,11 @@
-// Tests for the non-tree baselines: gossip (flooding) renaming and naive
-// balls-into-bins renaming.
+// Tests for the non-tree baselines: gossip (flooding) renaming, naive
+// balls-into-bins renaming, and the Moir–Anderson splitter network.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <vector>
 
+#include "baselines/splitter_net.h"
 #include "baselines/two_choice.h"
 #include "harness/runner.h"
 #include "sim/adversaries.h"
@@ -240,6 +241,86 @@ TEST(NaiveBins, NeedsMoreCollisionPhasesThanBallsIntoLeaves) {
     bins_phases += harness::run_renaming(config).rounds;
   }
   EXPECT_LT(bil_phases, bins_phases);
+}
+
+// ---- Splitter network (Moir–Anderson grid) ----------------------------------
+
+TEST(SplitterNet, FaultFreeRunsExactlyNRoundsWithUniqueNames) {
+  // One anti-diagonal of the grid per round: failure-free, every process
+  // leaves the grid after exactly n rounds, and names are pairwise distinct
+  // within the triangular namespace.
+  for (std::uint32_t n : {1u, 2u, 16u, 64u}) {
+    RunConfig config;
+    config.algorithm = harness::Algorithm::kSplitterNet;
+    config.n = n;
+    config.seed = 4;
+    const auto summary = harness::run_renaming(config);
+    EXPECT_TRUE(summary.completed) << "n=" << n;
+    EXPECT_EQ(summary.rounds, n) << "n=" << n;
+    std::set<std::uint64_t> names;
+    for (const auto& outcome : summary.raw.outcomes) {
+      EXPECT_GE(outcome.name, 1u);
+      EXPECT_LE(outcome.name,
+                baselines::SplitterNetProcess::namespace_bound(n, 0));
+      names.insert(outcome.name);
+    }
+    EXPECT_EQ(names.size(), n) << "n=" << n;
+  }
+}
+
+TEST(SplitterNet, NamespaceIsQuadraticNotTight) {
+  // The separation from the paper's algorithms: the splitter grid renames
+  // into Θ((n+t)²) names, never the tight 1..n namespace. The deepest
+  // splitter a failure-free run can reach sits on diagonal n-1.
+  EXPECT_EQ(baselines::SplitterNetProcess::splitter_name(0, 0), 1u);
+  EXPECT_EQ(baselines::SplitterNetProcess::splitter_name(1, 0), 2u);
+  EXPECT_EQ(baselines::SplitterNetProcess::splitter_name(0, 1), 3u);
+  EXPECT_GT(baselines::SplitterNetProcess::namespace_bound(64, 8),
+            std::uint64_t{64} * 64 / 2);
+}
+
+TEST(SplitterNet, DeterministicForSeed) {
+  RunConfig config;
+  config.algorithm = harness::Algorithm::kSplitterNet;
+  config.n = 48;
+  config.seed = 9;
+  config.adversary = {.kind = AdversaryKind::kEager, .crashes = 6, .when = 1,
+                      .per_round = 1,
+                      .subset = sim::SubsetPolicy::kRandomHalf};
+  const auto a = harness::run_renaming(config);
+  const auto b = harness::run_renaming(config);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.crashes, b.crashes);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(a.raw.outcomes[i].name, b.raw.outcomes[i].name);
+  }
+}
+
+TEST(SplitterNet, SurvivesCrashStrategies) {
+  // Crash ghosts can only demote right-moves to down-moves, so validation
+  // (unique names within namespace_bound(n, t)) must hold under every
+  // registered crash pattern.
+  const std::vector<AdversarySpec> specs = {
+      {.kind = AdversaryKind::kOblivious, .crashes = 8, .horizon = 24},
+      {.kind = AdversaryKind::kBurst, .crashes = 8, .when = 0,
+       .subset = sim::SubsetPolicy::kSilent},
+      {.kind = AdversaryKind::kBurst, .crashes = 8, .when = 2,
+       .subset = sim::SubsetPolicy::kAlternating},
+      {.kind = AdversaryKind::kEager, .crashes = 12, .when = 0,
+       .per_round = 2, .subset = sim::SubsetPolicy::kRandomHalf},
+  };
+  for (const AdversarySpec& spec : specs) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      RunConfig config;
+      config.algorithm = harness::Algorithm::kSplitterNet;
+      config.n = 32;
+      config.seed = seed;
+      config.adversary = spec;
+      const auto summary = harness::run_renaming(config);
+      EXPECT_TRUE(summary.completed)
+          << to_string(spec.kind) << " seed=" << seed;
+    }
+  }
 }
 
 }  // namespace

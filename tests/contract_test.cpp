@@ -1,0 +1,299 @@
+// The O(log log n) round bound as a regression contract.
+//
+// The paper's headline claim — Balls-into-Leaves renames in O(log log n)
+// rounds w.h.p. against the strong adaptive adversary — is asserted here as
+// an executable inequality (search/contract.h): every run of the
+// sub-logarithmic algorithms, under every registered adversary AND under
+// the worst schedules the adversary-search engine has found, must finish
+// within kContractCoeff · log2(log2 n) + kContractSlack rounds. The
+// deterministic tree variants get their own Θ(log n) bound.
+//
+// Three properties of the search subsystem itself are pinned alongside:
+//   * determinism — the same SearchConfig walks the same candidate sequence
+//     and returns the same best genome, bit for bit;
+//   * replay bit-identity — a genome evaluates to the identical outcome
+//     (rounds, crashes, per-process names) on the exact engine and on the
+//     symbolic fast path, so schedules found cheaply at scale are engine
+//     facts, not approximations;
+//   * search power — with the same crash budget, the optimizer finds
+//     schedules at least as bad as the worst hand-coded crash adversary
+//     (otherwise the contract would be tested against a weaker opponent
+//     than the hand-written ones it replaced).
+//
+// The pinned fixtures (tests/fixtures/worst_bil_n*.json) are the worst
+// schedules found by `bil_fuzz --search` at n = 256 / 4096 / 65536; they
+// replay here with their recorded outcomes verified bit-for-bit. If a
+// future search finds something worse, pin it by regenerating the fixture
+// (the embedded "observed" block makes any behavioural drift loud).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/backend.h"
+#include "harness/runner.h"
+#include "search/contract.h"
+#include "search/evaluate.h"
+#include "search/genome.h"
+#include "search/optimize.h"
+#include "util/contract.h"
+#include "util/math.h"
+
+namespace bil {
+namespace {
+
+using harness::AdversaryKind;
+using harness::AdversarySpec;
+using harness::Algorithm;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(BIL_SOURCE_DIR) + "/tests/fixtures/" + name;
+  std::ifstream file(path, std::ios::binary);
+  BIL_REQUIRE(file.good(), "cannot open fixture '" + path + "'");
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return contents.str();
+}
+
+// ---- the contract over the registered-adversary grid ------------------------
+
+TEST(Contract, HoldsAcrossTheRegisteredAdversaryGridOnTheEngine) {
+  // Every crash/targeted adversary kind, both sub-logarithmic algorithms,
+  // exact engine semantics. The budgets mirror the report presets.
+  const std::vector<AdversarySpec> specs = {
+      {.kind = AdversaryKind::kNone},
+      {.kind = AdversaryKind::kOblivious, .crashes = 8, .horizon = 10},
+      {.kind = AdversaryKind::kBurst, .crashes = 8, .when = 1,
+       .subset = sim::SubsetPolicy::kAlternating},
+      {.kind = AdversaryKind::kSandwich, .crashes = 8, .per_round = 2},
+      {.kind = AdversaryKind::kEager, .crashes = 8, .when = 0, .per_round = 2,
+       .subset = sim::SubsetPolicy::kRandomHalf},
+      {.kind = AdversaryKind::kTargetedWinner, .crashes = 8, .per_round = 2,
+       .subset = sim::SubsetPolicy::kRandomHalf},
+      {.kind = AdversaryKind::kTargetedAnnouncer, .crashes = 8, .per_round = 2,
+       .subset = sim::SubsetPolicy::kRandomHalf},
+  };
+  for (const Algorithm algorithm :
+       {Algorithm::kBallsIntoLeaves, Algorithm::kEarlyTerminating}) {
+    for (const AdversarySpec& spec : specs) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        for (const std::uint32_t n : {64u, 256u}) {
+          harness::RunConfig config;
+          config.algorithm = algorithm;
+          config.n = n;
+          config.seed = seed;
+          config.adversary = spec;
+          const auto summary = harness::run_renaming(config);
+          EXPECT_TRUE(summary.completed);
+          EXPECT_TRUE(search::round_contract_holds(algorithm, n,
+                                                   summary.rounds))
+              << harness::to_string(algorithm) << " under "
+              << harness::to_string(spec.kind) << " n=" << n
+              << " seed=" << seed << ": " << summary.rounds << " rounds > "
+              << search::loglog_round_bound(n);
+        }
+      }
+    }
+  }
+}
+
+TEST(Contract, HoldsAtScaleOnTheFastPath) {
+  // The same grid where the engine is impractical: the symbolic crash
+  // simulator at n up to 2^16 (bit-identical to the engine on this domain).
+  const std::vector<AdversarySpec> specs = {
+      {.kind = AdversaryKind::kNone},
+      {.kind = AdversaryKind::kOblivious, .crashes = 12, .horizon = 12},
+      {.kind = AdversaryKind::kBurst, .crashes = 12, .when = 1,
+       .subset = sim::SubsetPolicy::kAlternating},
+      {.kind = AdversaryKind::kSandwich, .crashes = 12, .per_round = 2},
+      {.kind = AdversaryKind::kEager, .crashes = 12, .when = 0,
+       .per_round = 2, .subset = sim::SubsetPolicy::kRandomHalf},
+  };
+  const api::FastSimBackend backend;
+  for (const Algorithm algorithm :
+       {Algorithm::kBallsIntoLeaves, Algorithm::kEarlyTerminating}) {
+    for (const AdversarySpec& spec : specs) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        for (const std::uint32_t n : {8192u, 65536u}) {
+          api::CellConfig cell;
+          cell.algorithm = algorithm;
+          cell.n = n;
+          cell.adversary = spec;
+          const api::RunRecord record = backend.run(cell, seed);
+          EXPECT_TRUE(search::round_contract_holds(algorithm, n,
+                                                   record.rounds))
+              << harness::to_string(algorithm) << " under "
+              << harness::to_string(spec.kind) << " n=" << n
+              << " seed=" << seed << ": " << record.rounds << " rounds > "
+              << search::loglog_round_bound(n);
+        }
+      }
+    }
+  }
+}
+
+TEST(Contract, DeterministicVariantsStayLogarithmic) {
+  // rank-descent and halving trade the w.h.p. loglog bound for determinism;
+  // they are outside the loglog contract (vacuously true) but must stay
+  // within their own Θ(log n) shape.
+  for (const Algorithm algorithm :
+       {Algorithm::kRankDescent, Algorithm::kHalving}) {
+    EXPECT_FALSE(search::has_loglog_contract(algorithm));
+    for (const std::uint32_t n : {64u, 256u, 1024u}) {
+      harness::RunConfig config;
+      config.algorithm = algorithm;
+      config.n = n;
+      config.seed = 1;
+      const auto summary = harness::run_renaming(config);
+      EXPECT_LE(summary.rounds, 4 * floor_log2(n) + 8)
+          << harness::to_string(algorithm) << " n=" << n;
+    }
+  }
+}
+
+// ---- pinned worst-case fixtures ---------------------------------------------
+
+TEST(Contract, PinnedWorstSchedulesReplayBitForBitAndStayUnderBound) {
+  // The worst schedules bil_fuzz --search has found, with their recorded
+  // outcomes. evaluate() re-executes them (engine below the auto threshold,
+  // fast path above — the recorded numbers must hold on either).
+  for (const char* name : {"worst_bil_n256.json", "worst_bil_n4096.json",
+                           "worst_bil_n65536.json"}) {
+    const search::GenomeRecord record =
+        search::parse_genome(read_fixture(name));
+    const search::EvalOutcome outcome = search::evaluate(record.genome);
+    EXPECT_EQ(outcome.rounds, record.rounds) << name;
+    EXPECT_EQ(outcome.crashes, record.crashes) << name;
+    EXPECT_EQ(outcome.deliveries, record.deliveries) << name;
+    EXPECT_TRUE(search::round_contract_holds(record.genome.algorithm,
+                                             record.genome.n, outcome.rounds))
+        << name << ": " << outcome.rounds << " rounds > "
+        << search::loglog_round_bound(record.genome.n);
+  }
+}
+
+// ---- the search subsystem's own guarantees ----------------------------------
+
+search::SearchConfig small_search_config() {
+  search::SearchConfig config;
+  config.algorithm = Algorithm::kBallsIntoLeaves;
+  config.n = 1024;
+  config.budget = 6;
+  config.evaluations = 24;
+  config.restarts = 3;
+  config.search_seed = 42;
+  config.eval.fast_sim_min_n = 0;  // symbolic path: cheap and exact
+  return config;
+}
+
+TEST(Search, DeterministicForSearchSeed) {
+  for (const search::OptimizerKind kind :
+       {search::OptimizerKind::kHillClimb, search::OptimizerKind::kAnneal}) {
+    const search::SearchConfig config = small_search_config();
+    const search::SearchResult a = search::run_search(kind, config);
+    const search::SearchResult b = search::run_search(kind, config);
+    EXPECT_EQ(a.best_score, b.best_score) << search::to_string(kind);
+    EXPECT_EQ(search::to_json(a.best), search::to_json(b.best))
+        << search::to_string(kind);
+    EXPECT_EQ(a.evaluations, config.evaluations);
+    EXPECT_EQ(b.evaluations, config.evaluations);
+  }
+}
+
+TEST(Search, FoundSchedulesReplayBitIdenticallyAcrossBackends) {
+  // The property the whole subsystem leans on: a genome is one execution,
+  // whichever executor runs it. Search on the fast path, then re-evaluate
+  // the best genome on the exact engine and compare everything observable.
+  search::SearchConfig config = small_search_config();
+  config.evaluations = 12;
+  const search::SearchResult found =
+      search::run_search(search::OptimizerKind::kHillClimb, config);
+
+  search::EvalOptions fast;
+  fast.fast_sim_min_n = 0;
+  search::EvalOptions engine;
+  engine.fast_sim_min_n = std::numeric_limits<std::uint32_t>::max();
+  const search::EvalOutcome a = search::evaluate(found.best.genome, fast);
+  const search::EvalOutcome b = search::evaluate(found.best.genome, engine);
+  EXPECT_TRUE(a.fast_path);
+  EXPECT_FALSE(b.fast_path);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  ASSERT_EQ(a.names.size(), b.names.size());
+  EXPECT_EQ(a.names, b.names);
+}
+
+TEST(Search, GenomeJsonRoundTrips) {
+  search::GenomeRecord record;
+  record.genome.algorithm = Algorithm::kEarlyTerminating;
+  record.genome.n = 512;
+  record.genome.run_seed = 77;
+  record.genome.budget = 5;
+  record.genome.crashes = {
+      {.round = 3, .victim_rank = 17, .subset = sim::SubsetPolicy::kSilent},
+      {.round = 9, .victim_rank = 2, .subset = sim::SubsetPolicy::kAll}};
+  record.genome.byzantine = 2;
+  record.genome.byzantine_start = 4;
+  record.genome.byzantine_rounds = 3;
+  record.rounds = 12;
+  record.crashes = 2;
+  record.deliveries = 123456789;
+  const std::string json = search::to_json(record);
+  const search::GenomeRecord parsed = search::parse_genome(json);
+  EXPECT_EQ(search::to_json(parsed), json);
+  EXPECT_THROW((void)search::parse_genome("{\"algorithm\": \"nope\"}"),
+               ContractViolation);
+  EXPECT_THROW((void)search::parse_genome("not json"), ContractViolation);
+}
+
+TEST(Search, FindsSchedulesAtLeastAsBadAsHandCodedAdversaries) {
+  // With identical crash budgets and the same run seed, the searched
+  // schedule must reach at least the round count of the worst hand-coded
+  // crash adversary — the hand-written strategies are points inside the
+  // genome's schedule space, so the optimizer has no excuse.
+  const std::uint32_t n = 1024;
+  const std::uint32_t budget = 8;
+  const std::uint64_t run_seed = 1;
+  const std::vector<AdversarySpec> specs = {
+      {.kind = AdversaryKind::kOblivious, .crashes = budget, .horizon = 10},
+      {.kind = AdversaryKind::kBurst, .crashes = budget, .when = 1,
+       .subset = sim::SubsetPolicy::kAlternating},
+      {.kind = AdversaryKind::kSandwich, .crashes = budget, .per_round = 2},
+      {.kind = AdversaryKind::kEager, .crashes = budget, .when = 0,
+       .per_round = 2, .subset = sim::SubsetPolicy::kRandomHalf},
+  };
+  const api::FastSimBackend backend;
+  std::uint32_t hand_coded_worst = 0;
+  for (const AdversarySpec& spec : specs) {
+    api::CellConfig cell;
+    cell.algorithm = Algorithm::kBallsIntoLeaves;
+    cell.n = n;
+    cell.adversary = spec;
+    hand_coded_worst =
+        std::max(hand_coded_worst, backend.run(cell, run_seed).rounds);
+  }
+
+  search::SearchConfig config;
+  config.algorithm = Algorithm::kBallsIntoLeaves;
+  config.n = n;
+  config.run_seed = run_seed;
+  config.budget = budget;
+  config.evaluations = 120;
+  config.restarts = 4;
+  config.search_seed = 7;
+  config.eval.fast_sim_min_n = 0;
+  const search::SearchResult found =
+      search::run_search(search::OptimizerKind::kHillClimb, config);
+  EXPECT_GE(found.best.rounds, hand_coded_worst);
+  EXPECT_TRUE(search::round_contract_holds(config.algorithm, n,
+                                           found.best.rounds));
+}
+
+}  // namespace
+}  // namespace bil

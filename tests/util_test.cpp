@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/seeds.h"
 #include "util/contract.h"
 #include "util/flags.h"
 #include "util/math.h"
@@ -176,6 +177,26 @@ TEST(DeriveSeed, IndependentAcrossDomainsAndIndices) {
   EXPECT_EQ(seeds.size(), 150u);  // no collisions in this small grid
   EXPECT_EQ(derive_seed(base, 1, 0), derive_seed(base, 1, 0));
   EXPECT_NE(derive_seed(base, 1, 0), derive_seed(base + 1, 1, 0));
+}
+
+TEST(DeriveSeed, RegisteredDomainsArePairwiseDistinct) {
+  // The named seed domains (core/seeds.h) partition a run seed into
+  // independent streams; a duplicate constant would silently correlate two
+  // subsystems (e.g. the search optimizer replaying adversary coins).
+  const std::uint64_t domains[] = {
+      core::kSeedDomainProcess,       core::kSeedDomainAdversary,
+      core::kSeedDomainHarness,       core::kSeedDomainSweep,
+      core::kSeedDomainChurnArrivals, core::kSeedDomainChurnLease,
+      core::kSeedDomainServiceInstance, core::kSeedDomainByzantine,
+      core::kSeedDomainSearch,        core::kSeedDomainSplitter};
+  std::set<std::uint64_t> distinct_constants(std::begin(domains),
+                                             std::end(domains));
+  EXPECT_EQ(distinct_constants.size(), std::size(domains));
+  std::set<std::uint64_t> derived;
+  for (const std::uint64_t domain : domains) {
+    derived.insert(derive_seed(99, domain, 0));
+  }
+  EXPECT_EQ(derived.size(), std::size(domains));
 }
 
 // ---- math -------------------------------------------------------------------

@@ -1,0 +1,218 @@
+// bil_fuzz — adversary search and schedule replay.
+//
+//   $ bil_fuzz --search --algorithm=bil --n=256,4096 --crashes=8 \
+//              --budget=400 --out=worst.json
+//   $ bil_fuzz --replay=worst.json
+//
+// Search mode hunts worst-case schedules: a seeded optimizer (hill-climb or
+// anneal) mutates a crash-schedule genome, each candidate scored through the
+// fast simulators (or the exact engine below the auto threshold / for
+// engine-only genomes). The best schedule per n prints as a table row, the
+// overall worst is written to --out as replayable JSON, and every result is
+// checked against the O(log log n) round contract (search/contract.h).
+//
+// Replay mode re-executes a JSON schedule and verifies the recorded outcome
+// bit-for-bit — the determinism story made executable.
+//
+// Exit codes: 0 success, 1 replay mismatch or usage error, 2 contract
+// violation (a found or replayed schedule breaks the round bound) — CI's
+// fuzz-search job keys off exit 2 and archives the offending JSON.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "search/contract.h"
+#include "search/evaluate.h"
+#include "search/genome.h"
+#include "search/optimize.h"
+#include "stats/table.h"
+#include "util/contract.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace bil;
+
+std::vector<std::uint32_t> parse_n_list(const std::string& list) {
+  std::vector<std::uint32_t> sizes;
+  std::istringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    sizes.push_back(static_cast<std::uint32_t>(std::stoull(item)));
+  }
+  BIL_REQUIRE(!sizes.empty(), "--n expects a comma-separated list of sizes");
+  return sizes;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  BIL_REQUIRE(file.good(), "cannot open '" + path + "'");
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return contents.str();
+}
+
+/// Replays a recorded schedule and cross-checks its embedded outcome.
+/// Returns the process exit code.
+int replay(const std::string& path) {
+  const search::GenomeRecord record = search::parse_genome(read_file(path));
+  const search::EvalOutcome outcome = search::evaluate(record.genome);
+  std::cout << "replayed " << path << ": algorithm="
+            << api::algorithm_info(record.genome.algorithm).name
+            << " n=" << record.genome.n << " rounds=" << outcome.rounds
+            << " crashes=" << outcome.crashes
+            << " deliveries=" << outcome.deliveries
+            << (outcome.fast_path ? " [fast-sim]" : " [engine]") << '\n';
+  bool mismatch = false;
+  if (record.rounds != 0 &&
+      (outcome.rounds != record.rounds || outcome.crashes != record.crashes ||
+       outcome.deliveries != record.deliveries)) {
+    std::cerr << "REPLAY MISMATCH: recorded rounds=" << record.rounds
+              << " crashes=" << record.crashes
+              << " deliveries=" << record.deliveries
+              << " but replay observed rounds=" << outcome.rounds
+              << " crashes=" << outcome.crashes
+              << " deliveries=" << outcome.deliveries << '\n';
+    mismatch = true;
+  }
+  if (!search::round_contract_holds(record.genome.algorithm, record.genome.n,
+                                    outcome.rounds)) {
+    std::cerr << "CONTRACT VIOLATION: " << outcome.rounds << " rounds > bound "
+              << search::loglog_round_bound(record.genome.n) << " at n="
+              << record.genome.n << '\n';
+    return 2;
+  }
+  return mismatch ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algorithm_name = "balls-into-leaves";
+  std::string n_list = "256";
+  std::string objective_name = "rounds";
+  std::string optimizer_name = "hill-climb";
+  std::string mode_name = "schedule";
+  std::string replay_path;
+  std::string out_path;
+  bool do_search = false;
+  std::uint32_t budget = 200;
+  std::uint32_t crashes = 4;
+  std::uint32_t restarts = 4;
+  std::uint32_t byzantine = 0;
+  std::uint32_t fast_min_n = 8192;
+  std::uint64_t seed = 1;
+  std::uint64_t run_seed = 1;
+
+  FlagSet flags("bil_fuzz",
+                "Hunt worst-case adversary schedules and replay them.");
+  flags.add_bool("search", &do_search,
+                 "run the adversary search over the --n grid");
+  flags.add_string("replay", &replay_path,
+                   "re-execute a schedule JSON and verify its recorded "
+                   "outcome bit-for-bit");
+  flags.add_string("algorithm", &algorithm_name,
+                   "algorithm to attack (name or alias; see bil_run "
+                   "--list-algorithms)");
+  flags.add_string("n", &n_list, "comma-separated process counts");
+  flags.add_uint32("budget", &budget, "candidate evaluations per n");
+  flags.add_uint32("crashes", &crashes, "crash budget t per run");
+  flags.add_uint32("restarts", &restarts, "hill-climbing restarts");
+  flags.add_uint32("byzantine", &byzantine,
+                   "Byzantine window budget riding on the schedule "
+                   "(engine-only)");
+  flags.add_uint("seed", &seed, "search seed (mutation stream)");
+  flags.add_uint("run-seed", &run_seed, "run seed candidates execute at");
+  flags.add_string("objective", &objective_name,
+                   "rounds | name-gap | messages");
+  flags.add_string("optimizer", &optimizer_name, "hill-climb | anneal");
+  flags.add_string("mode", &mode_name,
+                   "schedule | targeted-winner | targeted-announcer");
+  flags.add_uint32("fast-min-n", &fast_min_n,
+                   "evaluate compatible candidates on the fast simulators at "
+                   "or above this n (0 = always; bit-identical either way)");
+  flags.add_string("out", &out_path,
+                   "write the worst schedule found as replayable JSON");
+
+  try {
+    if (!flags.parse(argc - 1, argv + 1)) {
+      return 0;
+    }
+    if (!replay_path.empty()) {
+      return replay(replay_path);
+    }
+    if (!do_search) {
+      std::cerr << "nothing to do: pass --search or --replay=<json>\n\n"
+                << flags.usage();
+      return 1;
+    }
+
+    search::SearchConfig config;
+    config.algorithm = api::parse_algorithm(algorithm_name).algorithm;
+    config.run_seed = run_seed;
+    config.budget = crashes;
+    config.mode = search::parse_genome_mode(mode_name);
+    config.objective = search::parse_objective(objective_name);
+    config.evaluations = budget;
+    config.restarts = restarts;
+    config.search_seed = seed;
+    config.byzantine = byzantine;
+    config.eval.fast_sim_min_n = fast_min_n;
+    const search::OptimizerKind optimizer =
+        search::parse_optimizer(optimizer_name);
+
+    stats::Table table({"n", "evals", "best score", "rounds", "bound",
+                        "crashes", "deliveries"});
+    bool violated = false;
+    bool have_worst = false;
+    double worst_margin = 0.0;  // rounds / bound — worst is closest to 1.
+    search::GenomeRecord worst;
+    for (const std::uint32_t n : parse_n_list(n_list)) {
+      config.n = n;
+      const search::SearchResult result =
+          search::run_search(optimizer, config);
+      const double bound = search::loglog_round_bound(n);
+      table.add_row({stats::fmt_int(n), stats::fmt_int(result.evaluations),
+                     stats::fmt_fixed(result.best_score, 0),
+                     stats::fmt_int(result.best.rounds),
+                     search::has_loglog_contract(config.algorithm)
+                         ? stats::fmt_fixed(bound, 1)
+                         : "-",
+                     stats::fmt_int(result.best.crashes),
+                     stats::fmt_int(result.best.deliveries)});
+      if (!search::round_contract_holds(config.algorithm, n,
+                                        result.best.rounds)) {
+        std::cerr << "CONTRACT VIOLATION at n=" << n << ": "
+                  << result.best.rounds << " rounds > bound " << bound
+                  << "\nschedule:\n"
+                  << search::to_json(result.best) << '\n';
+        violated = true;
+      }
+      const double margin =
+          static_cast<double>(result.best.rounds) / std::max(bound, 1.0);
+      if (!have_worst || margin > worst_margin) {
+        have_worst = true;
+        worst_margin = margin;
+        worst = result.best;
+      }
+    }
+    table.print(std::cout);
+    if (!out_path.empty() && have_worst) {
+      std::ofstream out(out_path, std::ios::binary);
+      BIL_REQUIRE(out.good(), "cannot write '" + out_path + "'");
+      out << search::to_json(worst) << '\n';
+      std::cout << "worst schedule written to " << out_path << '\n';
+    }
+    return violated ? 2 : 0;
+  } catch (const std::exception& error) {
+    std::cerr << "bil_fuzz: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -45,16 +45,18 @@ std::vector<std::string> split_csv(const std::string& list) {
   return items;
 }
 
-template <typename Info>
-void list_registry(std::ostream& os, const char* heading,
-                   const std::vector<Info>& registry) {
-  os << heading << '\n';
-  for (const Info& info : registry) {
+/// --list-algorithms: every registry entry with its construction family
+/// (tree / gossip / bins / splitter), so new baselines are discoverable by
+/// the class of algorithm they represent.
+void list_algorithms_table(std::ostream& os) {
+  os << "registered algorithms:\n";
+  for (const api::AlgorithmInfo& info : api::algorithm_registry()) {
     os << "  " << info.name;
     for (const std::string& alias : info.aliases) {
       os << " (" << alias << ')';
     }
-    os << "\n      " << info.description << '\n';
+    os << "  [family: " << info.family << "]\n"
+       << "      " << info.description << '\n';
   }
 }
 
@@ -303,8 +305,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (list_algorithms) {
-      list_registry(std::cout, "registered algorithms:",
-                    api::algorithm_registry());
+      list_algorithms_table(std::cout);
       return 0;
     }
     if (list_adversaries) {
