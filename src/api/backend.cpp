@@ -155,6 +155,13 @@ std::string fast_sim_incompatibility(const CellConfig& cell) {
              "wire traffic, which the single-view symbolic execution has no "
              "representation for — use --backend engine";
     }
+    if (info.fault_model == "delay") {
+      return "fast-sim cannot replay adversary '" + info.name +
+             "': delay scheduling is an engine concept — the adversary "
+             "assumes the DeliveryScheduler role on the event-queue path, "
+             "and the single-view symbolic execution has no virtual clock — "
+             "use --backend engine";
+    }
     return "fast-sim cannot replay adversary '" + info.name +
            "' symbolically — use --backend engine";
   }

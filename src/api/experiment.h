@@ -94,6 +94,13 @@ struct ExperimentSpec {
   sim::Label label_offset = 0;
   sim::Label label_stride = 1;
 
+  /// Spec-level delay defaults for the asynchronous adversaries
+  /// (sim/scheduler.h). Applied by expansion to every delay-kind adversary
+  /// whose own AdversarySpec::delay was left at the default — per-cell
+  /// values (e.g. from registry knobs) win over this spec-wide setting.
+  /// Ignored by synchronous adversaries.
+  sim::DelaySpec delay;
+
   /// Long-lived service mode (src/service/): when churn.enabled(), each
   /// (cell, seed) pair runs one RenamingService horizon — a churn-driven
   /// stream of renaming instances with name recycling — instead of one

@@ -85,7 +85,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .description = "failure-free execution",
                      .fast_sim_capable = true,
                      .make = [](const AdversaryKnobs&) {
-                       return AdversarySpec{.kind = AdversaryKind::kNone};
+                       return AdversarySpec{.kind = AdversaryKind::kNone,
+                                            .delay = {}};
                      }});
   entries.push_back({.kind = AdversaryKind::kOblivious,
                      .name = harness::to_string(AdversaryKind::kOblivious),
@@ -97,7 +98,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                        return AdversarySpec{.kind = AdversaryKind::kOblivious,
                                             .crashes = knobs.crashes,
                                             .horizon = knobs.horizon,
-                                            .subset = knobs.subset};
+                                            .subset = knobs.subset,
+                                            .delay = {}};
                      }});
   entries.push_back({.kind = AdversaryKind::kBurst,
                      .name = harness::to_string(AdversaryKind::kBurst),
@@ -109,7 +111,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                        return AdversarySpec{.kind = AdversaryKind::kBurst,
                                             .crashes = knobs.crashes,
                                             .when = knobs.when,
-                                            .subset = knobs.subset};
+                                            .subset = knobs.subset,
+                                            .delay = {}};
                      }});
   entries.push_back({.kind = AdversaryKind::kSandwich,
                      .name = harness::to_string(AdversaryKind::kSandwich),
@@ -121,7 +124,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                      .make = [](const AdversaryKnobs& knobs) {
                        return AdversarySpec{.kind = AdversaryKind::kSandwich,
                                             .crashes = knobs.crashes,
-                                            .per_round = knobs.per_round};
+                                            .per_round = knobs.per_round,
+                                            .delay = {}};
                      }});
   entries.push_back({.kind = AdversaryKind::kEager,
                      .name = harness::to_string(AdversaryKind::kEager),
@@ -134,7 +138,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
                                             .crashes = knobs.crashes,
                                             .when = knobs.when,
                                             .per_round = knobs.per_round,
-                                            .subset = knobs.subset};
+                                            .subset = knobs.subset,
+                                            .delay = {}};
                      }});
   entries.push_back(
       {.kind = AdversaryKind::kTargetedWinner,
@@ -148,7 +153,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
          return AdversarySpec{.kind = AdversaryKind::kTargetedWinner,
                               .crashes = knobs.crashes,
                               .per_round = knobs.per_round,
-                              .subset = knobs.subset};
+                              .subset = knobs.subset,
+                              .delay = {}};
        }});
   entries.push_back(
       {.kind = AdversaryKind::kTargetedAnnouncer,
@@ -162,7 +168,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
          return AdversarySpec{.kind = AdversaryKind::kTargetedAnnouncer,
                               .crashes = knobs.crashes,
                               .per_round = knobs.per_round,
-                              .subset = knobs.subset};
+                              .subset = knobs.subset,
+                              .delay = {}};
        }});
   // Byzantine wire-corruption kinds. fast_sim_capable is false for all
   // three: the fast path simulates one shared view, while these strategies
@@ -178,7 +185,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
        .make = [](const AdversaryKnobs& knobs) {
          return AdversarySpec{.kind = AdversaryKind::kByzantineBitFlip,
                               .byzantine = knobs.byzantine,
-                              .byzantine_rounds = knobs.byzantine_rounds};
+                              .byzantine_rounds = knobs.byzantine_rounds,
+                              .delay = {}};
        }});
   entries.push_back(
       {.kind = AdversaryKind::kByzantineLiar,
@@ -191,7 +199,8 @@ std::vector<AdversaryInfo> build_adversary_registry() {
        .make = [](const AdversaryKnobs& knobs) {
          return AdversarySpec{.kind = AdversaryKind::kByzantineLiar,
                               .byzantine = knobs.byzantine,
-                              .byzantine_rounds = knobs.byzantine_rounds};
+                              .byzantine_rounds = knobs.byzantine_rounds,
+                              .delay = {}};
        }});
   entries.push_back(
       {.kind = AdversaryKind::kByzantineEquivocator,
@@ -205,7 +214,46 @@ std::vector<AdversaryInfo> build_adversary_registry() {
        .make = [](const AdversaryKnobs& knobs) {
          return AdversarySpec{.kind = AdversaryKind::kByzantineEquivocator,
                               .byzantine = knobs.byzantine,
-                              .byzantine_rounds = knobs.byzantine_rounds};
+                              .byzantine_rounds = knobs.byzantine_rounds,
+                              .delay = {}};
+       }});
+  // Delay (timing) kinds: the adversary assumes the DeliveryScheduler role
+  // (sim/scheduler.h) and attacks when batches arrive instead of crashing
+  // or corrupting. Async-only: they exist only on the engine's event-queue
+  // path, so fast_sim_capable is false by construction (the single-view
+  // simulator has no virtual clock — see fast_sim_incompatibility).
+  entries.push_back(
+      {.kind = AdversaryKind::kBoundedDelay,
+       .name = harness::to_string(AdversaryKind::kBoundedDelay),
+       .aliases = {"delay"},
+       .description = "every message batch delayed uniformly in [1, d] "
+                      "virtual ticks (--delay d; d = 1 is bit-identical to "
+                      "the synchronous run)",
+       .fault_model = "delay",
+       .timing = "async-only",
+       .fast_sim_capable = false,
+       .make = [](const AdversaryKnobs& knobs) {
+         return AdversarySpec{.kind = AdversaryKind::kBoundedDelay,
+                              .delay = {.max_delay = knobs.max_delay,
+                                        .gst = 0,
+                                        .timeout = knobs.timeout}};
+       }});
+  entries.push_back(
+      {.kind = AdversaryKind::kGst,
+       .name = harness::to_string(AdversaryKind::kGst),
+       .aliases = {"partial-synchrony"},
+       .description = "partial synchrony: delays bounded by d before the "
+                      "global stabilization tick (--gst), exactly one tick "
+                      "after it — rounds-after-GST obeys the synchronous "
+                      "O(log log n) contract",
+       .fault_model = "delay",
+       .timing = "async-only",
+       .fast_sim_capable = false,
+       .make = [](const AdversaryKnobs& knobs) {
+         return AdversarySpec{.kind = AdversaryKind::kGst,
+                              .delay = {.max_delay = knobs.max_delay,
+                                        .gst = knobs.gst,
+                                        .timeout = knobs.timeout}};
        }});
   return entries;
 }

@@ -37,6 +37,14 @@ struct AdversaryKnobs {
   std::uint32_t byzantine = 0;
   /// Corrupting-round window for the byzantine kinds; 0 = unbounded.
   sim::RoundNumber byzantine_rounds = 0;
+  /// Delay bound d for the delay kinds (--delay): each batch is delayed
+  /// uniformly in [1, d] ticks (pre-GST only, for the gst kind). d = 1 is
+  /// bit-identical to the synchronous run.
+  std::uint32_t max_delay = 4;
+  /// Global stabilization tick for the gst kind (--gst).
+  sim::VirtualTime gst = 8;
+  /// on_timeout budget in ticks for the delay kinds (--timeout); 0 = off.
+  sim::VirtualTime timeout = 0;
 };
 
 struct AlgorithmInfo {
@@ -65,11 +73,19 @@ struct AdversaryInfo {
   std::vector<std::string> aliases;
   std::string description;
   /// Which fault model the strategy exercises: "crash" (processes stop;
-  /// every message sent is genuine) or "byzantine" (faulty senders' wire
+  /// every message sent is genuine), "byzantine" (faulty senders' wire
   /// traffic is rewritten per recipient — garbled, forged, or equivocated —
-  /// while the engine still authenticates Envelope::from). Groups the
-  /// --list-adversaries output and tags JSON results.
+  /// while the engine still authenticates Envelope::from), or "delay"
+  /// (nothing fails; the adversary schedules when message batches arrive —
+  /// sim/scheduler.h). Groups the --list-adversaries output and tags JSON
+  /// results.
   std::string fault_model = "crash";
+  /// Timing model the strategy runs under: "sync" (the lock-step engine
+  /// fabric — every kind that existed before the event-driven executor) or
+  /// "async-only" (the delay kinds: they *are* the DeliveryScheduler, so
+  /// they only exist on the engine's event-queue path). Shown as the
+  /// `timing` column of --list-adversaries.
+  std::string timing = "sync";
   /// True when the crash-capable fast simulator can replay this strategy
   /// bit-for-bit: the schedule-only kinds (none, oblivious, burst, eager,
   /// sandwich) through sim::make_schedule_view, and the protocol-aware

@@ -106,11 +106,15 @@ void write_cell(std::ostream& os, const CellSummary& cell) {
      << "\",\"n\":" << cell.config.n << ",\"adversary\":{\"kind\":\""
      << adversary_info(adversary.kind).name
      << "\",\"fault_model\":\"" << adversary_info(adversary.kind).fault_model
+     << "\",\"timing\":\"" << adversary_info(adversary.kind).timing
      << "\",\"crashes\":" << adversary.crashes << ",\"when\":" << adversary.when
      << ",\"horizon\":" << adversary.horizon
      << ",\"per_round\":" << adversary.per_round
      << ",\"byzantine\":" << adversary.byzantine
      << ",\"byzantine_rounds\":" << adversary.byzantine_rounds
+     << ",\"max_delay\":" << adversary.delay.max_delay
+     << ",\"gst\":" << adversary.delay.gst
+     << ",\"timeout\":" << adversary.delay.timeout
      << "},\"termination\":\""
      << core::to_string(cell.config.termination) << "\",\"backend\":\""
      << to_string(cell.backend_used) << "\",\"metrics\":{\"rounds\":";
@@ -221,6 +225,12 @@ std::vector<CellConfig> SweepRunner::expand(const ExperimentSpec& spec) {
         cell.algorithm = algorithm;
         cell.n = n;
         cell.adversary = adversary;
+        // Spec-level delay defaults flow into delay-kind cells that did not
+        // set their own DelaySpec; an explicitly-knobbed cell wins.
+        if (harness::is_delay_kind(adversary.kind) &&
+            adversary.delay == sim::DelaySpec{}) {
+          cell.adversary.delay = spec.delay;
+        }
         cell.termination = spec.termination;
         cell.max_rounds = spec.max_rounds;
         cell.gossip_t = spec.gossip_t;

@@ -126,6 +126,20 @@ void BallsIntoLeavesProcess::on_send(sim::RoundNumber round, sim::Outbox& out) {
   }
 }
 
+void BallsIntoLeavesProcess::on_timeout(sim::RoundNumber round) {
+  (void)round;
+  // Before init completes the view has no balls (and no ball can be at a
+  // leaf anyway); afterwards the leaf check mirrors the kEagerLeaf decide
+  // in on_send. See the header for the soundness argument.
+  if (phase_ == 0 || has_decided() || halted()) {
+    return;
+  }
+  const tree::NodeId current = view_.current(options_.label);
+  if (shape_->is_leaf(current)) {
+    decide(shape_->leaf_rank(current) + 1);
+  }
+}
+
 void BallsIntoLeavesProcess::on_receive(sim::RoundNumber round,
                                         std::span<const sim::Envelope> inbox) {
   if (round == 0) {

@@ -131,6 +131,15 @@ class BallsIntoLeavesProcess final : public sim::ProcessBase {
   void on_send(sim::RoundNumber round, sim::Outbox& out) override;
   void on_receive(sim::RoundNumber round,
                   std::span<const sim::Envelope> inbox) override;
+  /// Timeout-based early termination under the asynchronous executor
+  /// (sim/scheduler.h, DelaySpec::timeout): if this ball already sits at a
+  /// leaf when the round's inbox is late, its name is final by the same
+  /// argument as TerminationMode::kEagerLeaf — once at a leaf a ball never
+  /// moves and no peer can displace it (Theorem 1) — so it decides now
+  /// instead of waiting out the delay, and keeps participating until the
+  /// global halt condition. Sound only because the asynchronous path is
+  /// crash- and Byzantine-free (no evictions can revoke a leaf).
+  void on_timeout(sim::RoundNumber round) override;
 
   // -- Introspection (tests, adversaries, instrumentation) -----------------
 

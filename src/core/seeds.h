@@ -44,5 +44,10 @@ inline constexpr std::uint64_t kSeedDomainSearch = 9;
 /// deterministic splitter consumes no coins, but the domain is pinned so a
 /// future randomized variant cannot collide with kSeedDomainProcess).
 inline constexpr std::uint64_t kSeedDomainSplitter = 10;
+/// derive_seed(run_seed, kSeedDomainDelay, k) seeds delivery-scheduler
+/// stream k (sim/scheduler.h: bounded-delay / GST delay draws) — a separate
+/// domain from kSeedDomainAdversary so attaching a delay schedule to a run
+/// can never perturb a crash schedule or any process's coin flips.
+inline constexpr std::uint64_t kSeedDomainDelay = 11;
 
 }  // namespace bil::core

@@ -57,8 +57,16 @@ const char* to_string(AdversaryKind kind) noexcept {
       return "byzantine-liar";
     case AdversaryKind::kByzantineEquivocator:
       return "byzantine-equivocator";
+    case AdversaryKind::kBoundedDelay:
+      return "bounded-delay";
+    case AdversaryKind::kGst:
+      return "gst";
   }
   return "unknown";
+}
+
+bool is_delay_kind(AdversaryKind kind) noexcept {
+  return kind == AdversaryKind::kBoundedDelay || kind == AdversaryKind::kGst;
 }
 
 namespace {
@@ -137,6 +145,14 @@ std::unique_ptr<sim::Adversary> make_adversary(
       derive_seed(run_seed, core::kSeedDomainAdversary, 0);
   switch (spec.kind) {
     case AdversaryKind::kNone:
+      return nullptr;
+    // Delay kinds are schedulers, not crash/corruption adversaries: they
+    // have no sim::Adversary form. make_scheduler is their factory.
+    case AdversaryKind::kBoundedDelay:
+    case AdversaryKind::kGst:
+      BIL_REQUIRE(false,
+                  "delay adversaries assume the DeliveryScheduler role; "
+                  "build them through make_scheduler, not make_adversary");
       return nullptr;
     case AdversaryKind::kOblivious:
       return std::make_unique<sim::ObliviousCrashAdversary>(
@@ -232,6 +248,24 @@ std::unique_ptr<sim::Adversary> make_adversary(
   return nullptr;
 }
 
+std::unique_ptr<sim::DeliveryScheduler> make_scheduler(
+    const AdversarySpec& spec, std::uint32_t n, std::uint64_t run_seed,
+    const std::shared_ptr<const tree::TreeShape>& shape) {
+  if (!is_delay_kind(spec.kind)) {
+    return std::make_unique<sim::SynchronousScheduler>(
+        make_adversary(spec, n, run_seed, shape));
+  }
+  BIL_REQUIRE(spec.crashes == 0 && spec.byzantine == 0,
+              "delay adversaries schedule message delivery, not failures: "
+              "the event-driven path runs crash-free — drop the "
+              "crash/Byzantine budgets or use a synchronous adversary kind");
+  const std::uint64_t seed = derive_seed(run_seed, core::kSeedDomainDelay, 0);
+  if (spec.kind == AdversaryKind::kBoundedDelay) {
+    return std::make_unique<sim::BoundedDelayScheduler>(spec.delay, seed);
+  }
+  return std::make_unique<sim::GstScheduler>(spec.delay, seed);
+}
+
 RunSummary run_renaming(const RunConfig& config) {
   BIL_REQUIRE(config.n >= 1, "need at least one process");
   BIL_REQUIRE(config.label_stride >= 1, "labels must be strictly monotone");
@@ -272,7 +306,7 @@ RunSummary run_renaming(const RunConfig& config) {
                         .num_threads = config.engine_threads,
                         .trace = config.trace},
       std::move(processes),
-      make_adversary(config.adversary, config.n, config.seed, shape));
+      make_scheduler(config.adversary, config.n, config.seed, shape));
   sim::RunResult result = engine.run();
   // The splitter network renames into its grid's Θ((n+t)²) namespace, not
   // the tight 1..n namespace the tree algorithms and bins target.

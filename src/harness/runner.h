@@ -13,6 +13,7 @@
 #include "core/observer.h"
 #include "sim/adversaries.h"
 #include "sim/engine.h"
+#include "sim/scheduler.h"
 
 namespace bil::harness {
 
@@ -63,6 +64,18 @@ enum class AdversaryKind : std::uint8_t {
   /// claims. Cap with AdversarySpec::byzantine_rounds (see the adversary's
   /// header for why unbounded equivocation can postpone termination).
   kByzantineEquivocator,
+  // -- Delay (timing) kinds: the adversary assumes the DeliveryScheduler
+  // role (sim/scheduler.h) and attacks *when* messages arrive instead of
+  // crashing or corrupting. Async-only — they run the engine's event-driven
+  // path, which is crash-free by contract (make_scheduler rejects mixing a
+  // delay kind with crash or Byzantine budgets).
+  /// sim::BoundedDelayScheduler — every batch delayed uniformly in
+  /// [1, delay.max_delay] ticks. max_delay = 1 is bit-identical to the
+  /// synchronous run.
+  kBoundedDelay,
+  /// sim::GstScheduler — partial synchrony: delays bounded by
+  /// delay.max_delay before tick delay.gst, exactly one tick after it.
+  kGst,
 };
 
 [[nodiscard]] const char* to_string(AdversaryKind kind) noexcept;
@@ -88,6 +101,10 @@ struct AdversarySpec {
   /// Corrupting-round budget for kByzantine* kinds; 0 = every round. The
   /// equivocator should set this (see AdversaryKind::kByzantineEquivocator).
   sim::RoundNumber byzantine_rounds = 0;
+  /// Timing knobs for the delay kinds (kBoundedDelay / kGst): delay bound,
+  /// GST tick, and the on_timeout budget. Ignored by the synchronous kinds.
+  /// The defaults describe lock-step timing (max_delay = 1, no timeouts).
+  sim::DelaySpec delay;
 };
 
 /// Sentinel for RunConfig::gossip_t: resolve t to n-1 (tolerate every
@@ -162,6 +179,22 @@ struct RunSummary {
 /// RNG stream) against its symbolic execution. Returns null for kNone.
 /// `shape` is only consulted by the protocol-aware targeted kinds.
 [[nodiscard]] std::unique_ptr<sim::Adversary> make_adversary(
+    const AdversarySpec& spec, std::uint32_t n, std::uint64_t run_seed,
+    const std::shared_ptr<const tree::TreeShape>& shape = nullptr);
+
+/// True for the timing kinds (kBoundedDelay / kGst) that run the engine's
+/// event-driven path instead of carrying a crash/corruption adversary.
+[[nodiscard]] bool is_delay_kind(AdversaryKind kind) noexcept;
+
+/// Builds the sim::DeliveryScheduler a run with this spec executes under —
+/// the factory run_renaming itself uses. Delay kinds become the matching
+/// delay scheduler, seeded from derive_seed(run_seed, kSeedDomainDelay, 0)
+/// (their own domain: a delay schedule never perturbs crash schedules or
+/// process coins); every other kind is wrapped in a SynchronousScheduler
+/// around make_adversary, so the lock-step fabric runs exactly as before.
+/// Rejects a delay kind combined with crash or Byzantine budgets (the
+/// event-driven path is crash-free by contract).
+[[nodiscard]] std::unique_ptr<sim::DeliveryScheduler> make_scheduler(
     const AdversarySpec& spec, std::uint32_t n, std::uint64_t run_seed,
     const std::shared_ptr<const tree::TreeShape>& shape = nullptr);
 

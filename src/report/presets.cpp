@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "search/contract.h"
 #include "util/contract.h"
 #include "util/math.h"
 
@@ -910,6 +911,119 @@ PresetSpec byzantine_tolerance_preset() {
   return preset;
 }
 
+PresetSpec async_delay_preset() {
+  PresetSpec preset;
+  preset.name = "async-delay";
+  preset.title = "Asynchronous delivery: bounded delay and partial synchrony";
+  preset.description =
+      "The event-driven executor (sim/scheduler.h) generalizes the paper's "
+      "lock-step model: the adversary assumes the DeliveryScheduler role and "
+      "assigns every message batch a virtual delivery tick, subject to the "
+      "eventual-delivery contract. Three checks pin the model down. "
+      "(1) A delay bound of d = 1 *is* the synchronous schedule — the "
+      "bounded-delay run must reproduce the lock-step engine's round counts "
+      "exactly, seed for seed (it consumes no scheduling randomness, so the "
+      "equality is bit-level, not statistical). (2) Under d = 4 every round "
+      "spans at most d ticks, so virtual time is at most 4x the synchronous "
+      "round count. (3) Under partial synchrony (adversarial delays before "
+      "the global stabilization tick, synchronous delivery after), total "
+      "virtual time stays within GST plus the synchronous O(log log n) "
+      "contract band (search/contract.h) — after GST the protocol needs no "
+      "more ticks than the lock-step worst case, i.e. asynchrony before "
+      "stabilization cannot poison the sub-logarithmic regime.";
+
+  SeriesSpec sync;
+  sync.label = "synchronous";
+  sync.algorithm = Algorithm::kBallsIntoLeaves;
+  sync.n_values = pow2_grid(6, 12, 2);
+  sync.seeds = 10;
+  sync.backend = api::BackendKind::kEngine;
+  preset.series.push_back(sync);
+
+  SeriesSpec lockstep;
+  lockstep.label = "bounded-delay-1";
+  lockstep.algorithm = Algorithm::kBallsIntoLeaves;
+  lockstep.n_values = pow2_grid(6, 12, 2);
+  lockstep.seeds = 10;
+  lockstep.backend = api::BackendKind::kEngine;
+  lockstep.adversary = [](std::uint32_t, std::uint32_t) {
+    return AdversarySpec{.kind = AdversaryKind::kBoundedDelay,
+                         .delay = {.max_delay = 1}};
+  };
+  preset.series.push_back(lockstep);
+
+  SeriesSpec delayed;
+  delayed.label = "bounded-delay-4";
+  delayed.algorithm = Algorithm::kBallsIntoLeaves;
+  delayed.n_values = pow2_grid(6, 12, 2);
+  delayed.seeds = 10;
+  delayed.backend = api::BackendKind::kEngine;
+  delayed.adversary = [](std::uint32_t, std::uint32_t) {
+    return AdversarySpec{.kind = AdversaryKind::kBoundedDelay,
+                         .delay = {.max_delay = 4}};
+  };
+  preset.series.push_back(delayed);
+
+  SeriesSpec gst;
+  gst.label = "gst-8";
+  gst.algorithm = Algorithm::kBallsIntoLeaves;
+  gst.n_values = pow2_grid(6, 12, 2);
+  gst.seeds = 10;
+  gst.backend = api::BackendKind::kEngine;
+  gst.adversary = [](std::uint32_t, std::uint32_t) {
+    return AdversarySpec{.kind = AdversaryKind::kGst,
+                         .delay = {.max_delay = 4, .gst = 8}};
+  };
+  preset.series.push_back(gst);
+
+  // Equality is claimed as a two-sided ratio bound against the synchronous
+  // series (same seeds, common random numbers): <= 1.0 in both directions
+  // pins the means to be identical.
+  preset.claims.push_back(
+      {.name = "async-lockstep-identity-upper",
+       .statement =
+           "Bounded delay d = 1 reproduces the synchronous engine exactly: "
+           "mean rounds never exceed the lock-step run's.",
+       .kind = ClaimKind::kRatioBound,
+       .series = "bounded-delay-1",
+       .reference = "synchronous",
+       .metric = Metric::kRoundsMean,
+       .factor = 1.0});
+  preset.claims.push_back(
+      {.name = "async-lockstep-identity-lower",
+       .statement =
+           "...and never fall below it — together with the upper bound, "
+           "the d = 1 schedule is the synchronous schedule, seed for seed.",
+       .kind = ClaimKind::kRatioBound,
+       .series = "synchronous",
+       .reference = "bounded-delay-1",
+       .metric = Metric::kRoundsMean,
+       .factor = 1.0});
+  preset.claims.push_back(
+      {.name = "async-delay-slowdown-bounded",
+       .statement =
+           "Under delay bound d = 4 a round spans at most d virtual ticks, "
+           "so total virtual time stays <= 4x the synchronous rounds at "
+           "every n.",
+       .kind = ClaimKind::kRatioBound,
+       .series = "bounded-delay-4",
+       .reference = "synchronous",
+       .metric = Metric::kRoundsMean,
+       .factor = 4.0});
+  preset.claims.push_back(
+      {.name = "async-gst-recovery",
+       .statement =
+           "Partial synchrony with GST = 8: worst-case virtual time stays "
+           "within GST + the synchronous O(log log n) contract band "
+           "(6*log2(log2 n) + 14 at n = 4096) — delays before stabilization "
+           "do not poison the sub-logarithmic regime.",
+       .kind = ClaimKind::kAbsoluteBound,
+       .series = "gst-8",
+       .metric = Metric::kRoundsMax,
+       .bound = 8.0 + search::loglog_round_bound(4096)});
+  return preset;
+}
+
 PresetSpec ci_preset() {
   PresetSpec preset;
   preset.name = "ci";
@@ -995,6 +1109,35 @@ PresetSpec ci_preset() {
                          .subset = sim::SubsetPolicy::kAlternating};
   };
   preset.series.push_back(targeted);
+
+  // Reduced async cells: the d = 1 bounded-delay series must match the
+  // lock-step `balls-into-leaves` series above exactly (same grid, same
+  // seeds — the event-queue executor in lockstep mode), and a small
+  // partial-synchrony cell keeps the GST recovery bound under the drift
+  // gate every push.
+  SeriesSpec async_lockstep;
+  async_lockstep.label = "async-lockstep";
+  async_lockstep.algorithm = Algorithm::kBallsIntoLeaves;
+  async_lockstep.n_values = {16, 64, 256};
+  async_lockstep.seeds = 5;
+  async_lockstep.backend = api::BackendKind::kEngine;
+  async_lockstep.adversary = [](std::uint32_t, std::uint32_t) {
+    return AdversarySpec{.kind = AdversaryKind::kBoundedDelay,
+                         .delay = {.max_delay = 1}};
+  };
+  preset.series.push_back(async_lockstep);
+
+  SeriesSpec async_gst;
+  async_gst.label = "async-gst";
+  async_gst.algorithm = Algorithm::kBallsIntoLeaves;
+  async_gst.n_values = {256};
+  async_gst.seeds = 3;
+  async_gst.backend = api::BackendKind::kEngine;
+  async_gst.adversary = [](std::uint32_t, std::uint32_t) {
+    return AdversarySpec{.kind = AdversaryKind::kGst,
+                         .delay = {.max_delay = 4, .gst = 8}};
+  };
+  preset.series.push_back(async_gst);
 
   // Reduced long-lived service cell: a 2048-round Poisson churn horizon at
   // n = 256 exercises the full service stack (churn stream, batching,
@@ -1109,6 +1252,34 @@ PresetSpec ci_preset() {
        .metric = Metric::kBroadcastRatio,
        .bound = 1.0});
   preset.claims.push_back(
+      {.name = "ci-async-lockstep-upper",
+       .statement =
+           "The event-queue executor in lockstep mode (bounded delay d = 1) "
+           "reproduces the synchronous engine's mean rounds exactly: never "
+           "above...",
+       .kind = ClaimKind::kRatioBound,
+       .series = "async-lockstep",
+       .reference = "balls-into-leaves",
+       .metric = Metric::kRoundsMean,
+       .factor = 1.0});
+  preset.claims.push_back(
+      {.name = "ci-async-lockstep-lower",
+       .statement = "...and never below (two-sided ratio = equality).",
+       .kind = ClaimKind::kRatioBound,
+       .series = "balls-into-leaves",
+       .reference = "async-lockstep",
+       .metric = Metric::kRoundsMean,
+       .factor = 1.0});
+  preset.claims.push_back(
+      {.name = "ci-async-gst-recovery",
+       .statement =
+           "Partial synchrony (d = 4 before GST = 8) stays within GST + the "
+           "synchronous O(log log n) contract band at n = 256.",
+       .kind = ClaimKind::kAbsoluteBound,
+       .series = "async-gst",
+       .metric = Metric::kRoundsMax,
+       .bound = 8.0 + search::loglog_round_bound(256)});
+  preset.claims.push_back(
       {.name = "ci-churn-keeps-up",
        .statement =
            "The long-lived service sustains Poisson churn on the reduced "
@@ -1151,6 +1322,7 @@ std::vector<PresetSpec> build_registry() {
   presets.push_back(load_balancing_gap_preset());
   presets.push_back(churn_steady_state_preset());
   presets.push_back(byzantine_tolerance_preset());
+  presets.push_back(async_delay_preset());
   presets.push_back(ci_preset());
   return presets;
 }

@@ -25,9 +25,35 @@ RoundNumber RunResult::last_decide_round() const {
 Engine::Engine(EngineConfig config,
                std::vector<std::unique_ptr<ProcessBase>> processes,
                std::unique_ptr<Adversary> adversary)
+    : Engine(config, std::move(processes),
+             std::make_unique<SynchronousScheduler>(std::move(adversary))) {}
+
+Engine::Engine(EngineConfig config,
+               std::vector<std::unique_ptr<ProcessBase>> processes,
+               std::unique_ptr<DeliveryScheduler> scheduler)
     : config_(config),
       processes_(std::move(processes)),
-      adversary_(std::move(adversary)) {
+      scheduler_(std::move(scheduler)) {
+  BIL_REQUIRE(scheduler_ != nullptr, "need a delivery scheduler");
+  adversary_ = scheduler_->adversary();
+  async_ = !scheduler_->synchronous();
+  if (async_) {
+    // The event-driven path is crash-free by contract: a delay scheduler
+    // attacks timing, not processes (sim/scheduler.h). Rejecting the
+    // budgets here keeps the contract from silently decaying.
+    BIL_REQUIRE(config_.max_crashes == 0,
+                "asynchronous schedulers are crash-free: combine delays "
+                "with a zero crash budget");
+    BIL_REQUIRE(config_.max_byzantine == 0,
+                "asynchronous schedulers are crash-free: combine delays "
+                "with a zero Byzantine budget");
+    BIL_REQUIRE(adversary_ == nullptr,
+                "asynchronous schedulers must not carry a crash/corruption "
+                "adversary");
+    BIL_REQUIRE(config_.trace == nullptr,
+                "the event-driven path does not stream round traces yet; "
+                "drop the trace sink or use a synchronous scheduler");
+  }
   BIL_REQUIRE(config_.num_processes >= 1, "need at least one process");
   BIL_REQUIRE(processes_.size() == config_.num_processes,
               "process vector size must equal num_processes");
@@ -168,7 +194,7 @@ void Engine::validate_and_index_corruption(const CorruptionPlan& plan) {
 
 void Engine::receive_guarded(WorkerState& ws, ProcessId receiver,
                              std::span<const Envelope> inbox,
-                             RoundNumber round) {
+                             RoundNumber round, RoundNumber record_round) {
   try {
     processes_[receiver]->on_receive(round, inbox);
   } catch (const wire::WireError&) {
@@ -179,11 +205,11 @@ void Engine::receive_guarded(WorkerState& ws, ProcessId receiver,
     // the same safety argument as a recipient halting in on_receive.
     status_[receiver] = Status::kQuarantined;
     outcomes_[receiver].quarantined = true;
-    outcomes_[receiver].quarantine_round = round;
+    outcomes_[receiver].quarantine_round = record_round;
     ++ws.malformed;
     return;
   }
-  note_progress(receiver, round);
+  note_progress(receiver, record_round);
 }
 
 void Engine::send_chunk(WorkerState& ws, std::size_t begin, std::size_t end,
@@ -233,7 +259,7 @@ void Engine::send_phase(RoundNumber round) {
 void Engine::deliver_chunk(WorkerState& ws,
                            std::span<const Envelope> shared_view,
                            std::size_t begin, std::size_t end,
-                           RoundNumber round) {
+                           RoundNumber round, RoundNumber record_round) {
   const bool has_special = !special_senders_.empty();
   for (std::size_t id = begin; id < end; ++id) {
     const auto receiver = static_cast<ProcessId>(id);
@@ -242,7 +268,7 @@ void Engine::deliver_chunk(WorkerState& ws,
     }
     if (!has_special || custom_recipient_[receiver] == 0) {
       ++ws.shared_recipients;
-      receive_guarded(ws, receiver, shared_view, round);
+      receive_guarded(ws, receiver, shared_view, round, record_round);
       continue;
     }
     ++ws.custom_recipients;
@@ -306,11 +332,11 @@ void Engine::deliver_chunk(WorkerState& ws,
     }
     ws.deliveries += ws.custom_inbox.size();
     ws.bytes += row_bytes;
-    receive_guarded(ws, receiver, ws.custom_inbox, round);
+    receive_guarded(ws, receiver, ws.custom_inbox, round, record_round);
   }
 }
 
-void Engine::deliver_round(RoundNumber round) {
+void Engine::deliver_round(RoundNumber round, RoundNumber record_round) {
   const std::uint32_t n = config_.num_processes;
   const std::size_t active_workers = parallel() ? workers_.size() : 1;
   // Stale buffer addresses from the previous round must never be consulted:
@@ -436,10 +462,10 @@ void Engine::deliver_round(RoundNumber round) {
           deliver_chunk(ws,
                         chunk == 0 ? std::span<const Envelope>(shared_inbox_)
                                    : std::span<const Envelope>(ws.shared_inbox),
-                        begin, end, round);
+                        begin, end, round, record_round);
         });
   } else {
-    deliver_chunk(workers_[0], shared_inbox_, 0, n, round);
+    deliver_chunk(workers_[0], shared_inbox_, 0, n, round, record_round);
   }
 
   // Fold the metric shards in chunk (= ascending process-id) order. Every
@@ -491,6 +517,9 @@ void Engine::deliver_round(RoundNumber round) {
 }
 
 bool Engine::step() {
+  BIL_REQUIRE(!async_,
+              "step() is the lock-step entry point; asynchronous schedulers "
+              "run through run()");
   BIL_REQUIRE(protocol_running(), "step() called on a finished run");
   const RoundNumber round = next_round_++;
   metrics_.begin_round();
@@ -525,13 +554,114 @@ bool Engine::step() {
     validate_and_index_corruption(corruption_plan_);
   }
 
-  deliver_round(round);
+  deliver_round(round, round);
   return protocol_running();
 }
 
 RunResult Engine::run() {
+  if (async_) {
+    return run_async();
+  }
   while (protocol_running() && next_round_ < config_.max_rounds) {
     step();
+  }
+  return result();
+}
+
+RunResult Engine::run_async() {
+  BIL_REQUIRE(next_round_ == 0, "run() called on a started run");
+  // max_rounds is enforced in virtual-time ticks here (see EngineConfig):
+  // one synchronous round is one tick, so the default 16·n + 64 keeps its
+  // meaning on the lock-step domain while also bounding starved schedules.
+  const VirtualTime cap = config_.max_rounds;
+  const VirtualTime timeout = scheduler_->timeout_ticks();
+  EventQueue queue;
+  std::uint64_t seq = 0;
+
+  VirtualTime now = 0;      // current virtual tick
+  RoundNumber round = 0;    // protocol round currently being collected
+  bool capped = false;
+
+  while (protocol_running() && now < cap) {
+    // -- Send phase for `round`, at tick `now`, serial in id order --------
+    metrics_.begin_round();
+    for (Outbox& outbox : outboxes_) {
+      outbox.clear();
+    }
+    std::uint64_t sends = 0;
+    for (ProcessId id = 0; id < config_.num_processes; ++id) {
+      if (status_[id] != Status::kAlive) {
+        continue;
+      }
+      processes_[id]->on_send(round, outboxes_[id]);
+      sends += outboxes_[id].messages().size();
+      // Outcomes are recorded on the virtual clock. At this instant the
+      // clock reads `now`, which on the lock-step domain equals `round` —
+      // the bit-identity argument in sim/scheduler.h.
+      note_progress(id, static_cast<RoundNumber>(now));
+    }
+    metrics_.record_send(sends);
+    if (!protocol_running()) {
+      break;  // everyone halted in on_send; in-flight batches are moot
+    }
+
+    // -- Ask the scheduler when each (sender, round) batch arrives --------
+    for (ProcessId id = 0; id < config_.num_processes; ++id) {
+      if (outboxes_[id].empty()) {
+        continue;
+      }
+      const SendBatch batch{
+          id, round, now,
+          static_cast<std::uint32_t>(outboxes_[id].messages().size())};
+      const VirtualTime at = scheduler_->deliver_at(batch);
+      BIL_REQUIRE(at > now,
+                  "scheduler violated the progress contract: a batch must "
+                  "be delivered strictly after it was sent");
+      queue.push(DeliveryEvent{at, id, seq++, round});
+    }
+
+    // -- Drain this round's events in (time, sender, seq) order -----------
+    // The round's inbox is complete once its last batch has arrived; the
+    // batch-granular delay model keeps rounds globally serialized (a
+    // process's next send waits for the same completion), so every event in
+    // the queue belongs to `round` and payload handles stay outbox-scoped
+    // exactly as in the lock-step engine.
+    VirtualTime complete = now + 1;  // an all-silent round still advances
+    bool timed_out = false;
+    while (!queue.empty()) {
+      const DeliveryEvent event = queue.pop();
+      BIL_REQUIRE(event.round == round, "event from a foreign round");
+      if (timeout > 0 && !timed_out && event.time > now + timeout &&
+          now + timeout < cap) {
+        // The waiting processes time out before the next arrival: fire the
+        // hook once for this round, at tick now + timeout, in id order.
+        timed_out = true;
+        for (ProcessId id = 0; id < config_.num_processes; ++id) {
+          if (status_[id] != Status::kAlive) {
+            continue;
+          }
+          processes_[id]->on_timeout(round);
+          note_progress(id, static_cast<RoundNumber>(now + timeout));
+        }
+      }
+      if (event.time > cap) {
+        // Starved delivery: the batch would arrive beyond the tick cap, so
+        // the round can never complete. End cleanly (completed = false).
+        capped = true;
+        break;
+      }
+      complete = event.time;
+    }
+    if (capped) {
+      next_round_ = config_.max_rounds;
+      break;
+    }
+
+    // -- Fire the round at its completion tick ----------------------------
+    now = complete;
+    deliver_round(round, static_cast<RoundNumber>(now - 1));
+    next_round_ = static_cast<RoundNumber>(now);
+    ++round;
   }
   return result();
 }

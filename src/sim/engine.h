@@ -18,6 +18,14 @@
 // bit-identical for every thread count — see docs/perf.md for the argument
 // and tests/engine_parallel_test.cpp / golden_run_test for the executable
 // form.
+//
+// Event-driven execution: the engine is parameterized by a
+// sim::DeliveryScheduler (sim/scheduler.h). A synchronous scheduler selects
+// the lock-step fabric above, bit-identical to the pre-scheduler engine
+// (golden_run_test is the proof); an asynchronous scheduler (bounded-delay,
+// GST) selects run_async(), which advances a virtual clock through a
+// deterministic event queue (sim/event_queue.h) and fires each protocol
+// round when its inbox completes. See docs/architecture.md § scheduler.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,8 @@
 
 #include "sim/adversary.h"
 #include "sim/decode_cache.h"
+#include "sim/event_queue.h"
+#include "sim/scheduler.h"
 #include "sim/metrics.h"
 #include "sim/process.h"
 #include "sim/trace.h"
@@ -50,16 +60,21 @@ struct EngineConfig {
   /// run (its outcome is flagged; validate_renaming excuses it). 0 (the
   /// default) forbids corruption entirely — the crash-only model.
   std::uint32_t max_byzantine = 0;
-  /// Safety cap on rounds; 0 selects 16·n + 64, far above the deterministic
-  /// O(n)-round termination bound (paper Lemma 11), so hitting the cap
-  /// means a bug, not bad luck.
+  /// Safety cap; 0 selects the documented default 16·n + 64, far above the
+  /// deterministic O(n)-round termination bound (paper Lemma 11), so
+  /// hitting the cap means a bug, not bad luck. Synchronous runs count it
+  /// in rounds; asynchronous runs enforce it in virtual-time *ticks*, so a
+  /// scheduler that starves delivery (delays a batch past the cap) ends the
+  /// run cleanly with completed = false instead of looping forever.
   RoundNumber max_rounds = 0;
   /// Intra-round executor threads for the send/receive fan-outs: 1 (the
   /// default) runs every phase serially, k > 1 shards processes over k
   /// threads, 0 resolves to one thread per hardware thread. The run's
   /// result is bit-identical for every value. When a trace sink is attached
   /// the engine falls back to serial execution regardless (trace events
-  /// must stream in id order).
+  /// must stream in id order), and the asynchronous path is always serial
+  /// (ticks are globally ordered), so thread-width invariance holds there
+  /// trivially.
   std::uint32_t num_threads = 1;
   /// Optional execution trace; not owned, may be null. Must outlive the
   /// engine.
@@ -108,22 +123,49 @@ struct RunResult {
   [[nodiscard]] RoundNumber last_decide_round() const;
 };
 
-/// Executes one synchronous run. Single-shot: construct, run, inspect.
+/// Executes one run. Single-shot: construct, run, inspect.
 class Engine {
  public:
   /// Takes ownership of the processes (one per id, in id order) and of the
-  /// adversary. `adversary` may be null, meaning no failures.
+  /// adversary. `adversary` may be null, meaning no failures. Equivalent to
+  /// the scheduler constructor with a SynchronousScheduler wrapping
+  /// `adversary` — the lock-step model is the default special case.
   Engine(EngineConfig config,
          std::vector<std::unique_ptr<ProcessBase>> processes,
          std::unique_ptr<Adversary> adversary);
 
-  /// Executes one round. Returns true while at least one process is still
-  /// alive and not halted (i.e., the protocol is still running).
+  /// Event-driven form: the scheduler decides when every message batch is
+  /// delivered (sim/scheduler.h). A synchronous scheduler runs the
+  /// lock-step fabric with the adversary it carries, bit-identical to the
+  /// adversary constructor; an asynchronous scheduler runs the event-queue
+  /// path, which is crash-free by contract (the config must carry zero
+  /// crash and Byzantine budgets) and always serial.
+  Engine(EngineConfig config,
+         std::vector<std::unique_ptr<ProcessBase>> processes,
+         std::unique_ptr<DeliveryScheduler> scheduler);
+
+  /// A literal `nullptr` third argument means "no adversary, lock-step
+  /// scheduling" — the historical idiom throughout the tests. Spelled out
+  /// so the null literal stays unambiguous between the adversary and
+  /// scheduler overloads.
+  Engine(EngineConfig config,
+         std::vector<std::unique_ptr<ProcessBase>> processes,
+         std::nullptr_t)
+      : Engine(std::move(config), std::move(processes),
+               std::unique_ptr<Adversary>()) {}
+
+  /// Executes one lock-step round. Returns true while at least one process
+  /// is still alive and not halted (i.e., the protocol is still running).
+  /// Requires a synchronous scheduler; asynchronous runs go through run().
   bool step();
 
-  /// Runs rounds until the protocol finishes or the round cap is hit.
+  /// Runs the protocol to completion or to the max_rounds cap (rounds for
+  /// a synchronous scheduler, virtual-time ticks for an asynchronous one).
   RunResult run();
 
+  /// Rounds executed so far under a synchronous scheduler; virtual-time
+  /// ticks elapsed under an asynchronous one (one synchronous round = one
+  /// tick, so the two scales agree on the lock-step domain).
   [[nodiscard]] RoundNumber rounds_executed() const noexcept {
     return next_round_;
   }
@@ -200,24 +242,44 @@ class Engine {
   void validate_and_apply(const CrashPlan& plan, RoundNumber round);
   void validate_and_index_corruption(const CorruptionPlan& plan);
   void send_phase(RoundNumber round);
-  void deliver_round(RoundNumber round);
+  /// Delivers the round's outboxes. `record_round` is the value stamped
+  /// into outcome records (decide/halt/quarantine rounds): the round itself
+  /// on the lock-step path, the current virtual tick minus one on the
+  /// asynchronous path (so the two scales agree when every delay is one
+  /// tick — the bit-identity argument in sim/scheduler.h).
+  void deliver_round(RoundNumber round, RoundNumber record_round);
   void send_chunk(WorkerState& ws, std::size_t begin, std::size_t end,
                   RoundNumber round);
   void deliver_chunk(WorkerState& ws, std::span<const Envelope> shared_view,
-                     std::size_t begin, std::size_t end, RoundNumber round);
+                     std::size_t begin, std::size_t end, RoundNumber round,
+                     RoundNumber record_round);
   void receive_guarded(WorkerState& ws, ProcessId receiver,
-                       std::span<const Envelope> inbox, RoundNumber round);
+                       std::span<const Envelope> inbox, RoundNumber round,
+                       RoundNumber record_round);
   void note_progress(ProcessId id, RoundNumber round);
   [[nodiscard]] bool protocol_running() const;
-  /// True when this round's fan-outs go through the pool (num_threads > 1
-  /// and no trace sink attached).
+  /// The event-driven executor (asynchronous schedulers): advances the
+  /// virtual clock through the event queue, fires a protocol round when its
+  /// inbox completes, dispatches on_timeout, and enforces max_rounds in
+  /// ticks. Serial by construction.
+  RunResult run_async();
+  /// True when this round's fan-outs go through the pool (num_threads > 1,
+  /// no trace sink attached, and the lock-step path — the async path is
+  /// always serial).
   [[nodiscard]] bool parallel() const noexcept {
-    return pool_ != nullptr && config_.trace == nullptr;
+    return pool_ != nullptr && config_.trace == nullptr && !async_;
   }
 
   EngineConfig config_;
   std::vector<std::unique_ptr<ProcessBase>> processes_;
-  std::unique_ptr<Adversary> adversary_;
+  /// The delivery policy; owns the crash/corruption adversary when
+  /// synchronous. Never null.
+  std::unique_ptr<DeliveryScheduler> scheduler_;
+  /// Borrowed from scheduler_ (null for asynchronous schedulers — the
+  /// event-driven path is crash-free by contract).
+  Adversary* adversary_ = nullptr;
+  /// Cached !scheduler_->synchronous().
+  bool async_ = false;
 
   std::vector<Status> status_;
   std::vector<ProcessOutcome> outcomes_;

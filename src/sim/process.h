@@ -48,6 +48,15 @@ class ProcessBase {
   virtual void on_receive(RoundNumber round,
                           std::span<const Envelope> inbox) = 0;
 
+  /// Asynchronous-executor hook (see sim/scheduler.h): fired once per round
+  /// when the process has waited DelaySpec::timeout ticks for round `round`'s
+  /// inbox to complete. Default: do nothing — synchronous runs never wait
+  /// longer than one tick, so lock-step behaviour is unchanged. An override
+  /// may decide() early (timeout-based early termination) but must keep
+  /// participating: the late messages are still in flight and will be
+  /// delivered.
+  virtual void on_timeout(RoundNumber /*round*/) {}
+
   [[nodiscard]] bool has_decided() const noexcept {
     return decision_.has_value();
   }

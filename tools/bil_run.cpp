@@ -81,7 +81,7 @@ void list_adversaries_grouped(std::ostream& os) {
       for (const std::string& alias : info.aliases) {
         os << " (" << alias << ')';
       }
-      os << "  [fast-sim: "
+      os << "  [timing: " << info.timing << "; fast-sim: "
          << (info.fast_sim_capable ? "yes" : "no — engine only") << "]\n"
          << "      " << info.description << '\n';
     }
@@ -216,6 +216,9 @@ int main(int argc, char** argv) {
   std::uint32_t per_round = 2;
   std::uint32_t byzantine = 0;
   std::uint32_t byzantine_rounds = 0;
+  std::uint32_t delay = 0;
+  std::uint64_t gst = 0;
+  std::uint64_t timeout = 0;
   std::string backend = "auto";
   std::string churn;
   std::uint32_t churn_rounds = 4096;
@@ -256,6 +259,19 @@ int main(int argc, char** argv) {
   flags.add_uint32("byzantine-rounds", &byzantine_rounds,
                    "corrupting-round window for the byzantine-* adversaries "
                    "(0 = unbounded; cap the equivocator)");
+  flags.add_uint32("delay", &delay,
+                   "delay bound d for the asynchronous adversaries: each "
+                   "message batch arrives 1..d ticks after the send "
+                   "(0 = default 4; d=1 is bit-identical to synchronous; "
+                   "implies --adversary=bounded-delay when none is set)");
+  flags.add_uint("gst", &gst,
+                 "global stabilization tick: delays are adversarial before "
+                 "GST, synchronous after (0 = default 8; implies "
+                 "--adversary=gst when none is set)");
+  flags.add_uint("timeout", &timeout,
+                 "on_timeout budget in ticks for the delay adversaries: a "
+                 "round whose next delivery is further out fires the "
+                 "processes' timeout hook once (0 = off)");
   flags.add_string("backend", &backend,
                    "auto|engine|fast-sim (auto: fast single-view simulator "
                    "for large tree cells, crash-free or under a "
@@ -328,13 +344,34 @@ int main(int argc, char** argv) {
                   "--n value '" + value + "' is out of range");
       spec.n_values.push_back(static_cast<std::uint32_t>(n));
     }
+    // --gst / --delay select their adversary by themselves when the user
+    // hasn't picked one: a delay bound means bounded-delay, a stabilization
+    // tick means partial synchrony (gst wins when both are given).
+    if (adversary == "none") {
+      if (gst > 0) {
+        adversary = "gst";
+      } else if (delay > 0) {
+        adversary = "bounded-delay";
+      }
+    }
+    // The delay adversaries' spec factories read only the delay knobs, so a
+    // crash or byzantine budget would vanish silently — reject it instead.
+    if (harness::is_delay_kind(api::parse_adversary(adversary).kind)) {
+      BIL_REQUIRE(crashes == 0 && byzantine == 0,
+                  "the delay adversaries schedule message delivery on a "
+                  "failure-free run — drop --crashes/--byzantine or pick a "
+                  "crash/byzantine adversary");
+    }
     spec.adversaries = {api::parse_adversary(adversary).make(
         api::AdversaryKnobs{.crashes = crashes,
                             .when = burst_round,
                             .horizon = horizon,
                             .per_round = per_round,
                             .byzantine = byzantine,
-                            .byzantine_rounds = byzantine_rounds})};
+                            .byzantine_rounds = byzantine_rounds,
+                            .max_delay = delay == 0 ? 4 : delay,
+                            .gst = gst == 0 ? 8 : gst,
+                            .timeout = timeout})};
     BIL_REQUIRE(seeds >= 1, "--seeds must be at least 1");
     BIL_REQUIRE(horizon >= 1, "--horizon must be at least 1");
     spec.seeds = seeds;
@@ -364,6 +401,10 @@ int main(int argc, char** argv) {
 
     const api::SweepRunner runner(spec);
     if (trace) {
+      BIL_REQUIRE(!harness::is_delay_kind(spec.adversaries.front().kind),
+                  "--trace records the lock-step delivery schedule; the "
+                  "delay adversaries run the event-queue path, which has no "
+                  "trace hook — drop --trace");
       traced_run(runner.cells().front(), seed_base);
       return 0;
     }
